@@ -1,0 +1,152 @@
+//! The Figure 5 hyper-parameter-optimization workload definition.
+//!
+//! §4.1: "The workload is a hyper-parameter optimization script that reads
+//! a CSV file, trains k regression models with different regularization
+//! parameters λ (see lmDS in Figure 2), and stores the resulting models as
+//! a single CSV file."
+
+use std::path::{Path, PathBuf};
+use sysds_common::Result;
+use sysds_io::FormatDescriptor;
+use sysds_tensor::kernels::gen;
+use sysds_tensor::Matrix;
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct HyperParamWorkload {
+    /// Rows of the feature matrix X.
+    pub rows: usize,
+    /// Columns of X.
+    pub cols: usize,
+    /// Sparsity of X (1.0 = dense, Fig. 5(b) uses 0.1).
+    pub sparsity: f64,
+    /// Number of models k; λ values are `1e-6 * 2^i`.
+    pub num_models: usize,
+    /// Data-generation seed.
+    pub seed: u64,
+    /// Directory for the CSV input and model output.
+    pub dir: PathBuf,
+}
+
+impl HyperParamWorkload {
+    /// The paper's λ sweep: k distinct regularization values.
+    pub fn lambdas(&self) -> Vec<f64> {
+        (0..self.num_models)
+            .map(|i| 1e-6 * (i as f64 + 1.0))
+            .collect()
+    }
+
+    /// Path of the generated feature CSV.
+    pub fn x_path(&self) -> PathBuf {
+        self.dir.join(format!(
+            "X_{}x{}_sp{}_s{}.csv",
+            self.rows, self.cols, self.sparsity, self.seed
+        ))
+    }
+
+    /// Path of the generated label CSV.
+    pub fn y_path(&self) -> PathBuf {
+        self.dir.join(format!(
+            "y_{}_sp{}_s{}.csv",
+            self.rows, self.sparsity, self.seed
+        ))
+    }
+
+    /// Path models are written to.
+    pub fn model_path(&self) -> PathBuf {
+        self.dir.join(format!(
+            "models_{}x{}_k{}.csv",
+            self.rows, self.cols, self.num_models
+        ))
+    }
+
+    /// Generate the synthetic input files if not already present; returns
+    /// the (X, y) pair as in-memory matrices as well.
+    pub fn materialize(&self) -> Result<(Matrix, Matrix)> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| sysds_common::SysDsError::io(self.dir.display().to_string(), e))?;
+        let (x, y) =
+            gen::synthetic_regression(self.rows, self.cols, self.sparsity, 0.05, self.seed);
+        let desc = FormatDescriptor::csv();
+        if !self.x_path().exists() {
+            sysds_io::csv::write_matrix(self.x_path(), &x, &desc)?;
+            sysds_io::Metadata::matrix(x.rows(), x.cols(), x.nnz(), "csv").save(self.x_path())?;
+        }
+        if !self.y_path().exists() {
+            sysds_io::csv::write_matrix(self.y_path(), &y, &desc)?;
+            sysds_io::Metadata::matrix(y.rows(), y.cols(), y.nnz(), "csv").save(self.y_path())?;
+        }
+        Ok((x, y))
+    }
+
+    /// Remove generated files (benchmark cleanup).
+    pub fn cleanup(&self) {
+        for p in [self.x_path(), self.y_path(), self.model_path()] {
+            let _ = std::fs::remove_file(&p);
+            let _ = std::fs::remove_file(sysds_io::Metadata::sidecar_path(&p));
+        }
+    }
+}
+
+/// Result of one engine run: per-λ models stacked column-wise, ready to be
+/// checked against other engines.
+#[derive(Debug)]
+pub struct WorkloadResult {
+    /// `cols x k` matrix; column i is the model for λ_i.
+    pub models: Matrix,
+}
+
+impl WorkloadResult {
+    /// Compare against another engine's result.
+    pub fn approx_eq(&self, other: &WorkloadResult, tol: f64) -> bool {
+        self.models.approx_eq(&other.models, tol)
+    }
+
+    /// Write models as a single CSV (the workload's final step).
+    pub fn write(&self, path: &Path) -> Result<()> {
+        sysds_io::csv::write_matrix(path, &self.models, &FormatDescriptor::csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl() -> HyperParamWorkload {
+        HyperParamWorkload {
+            rows: 50,
+            cols: 4,
+            sparsity: 1.0,
+            num_models: 3,
+            seed: 11,
+            dir: std::env::temp_dir().join("sysds-workload-tests"),
+        }
+    }
+
+    #[test]
+    fn lambdas_are_distinct_and_positive() {
+        let l = wl().lambdas();
+        assert_eq!(l.len(), 3);
+        for w in l.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0] > 0.0);
+        }
+    }
+
+    #[test]
+    fn materialize_writes_files_and_metadata() {
+        let w = wl();
+        w.cleanup();
+        let (x, y) = w.materialize().unwrap();
+        assert_eq!(x.shape(), (50, 4));
+        assert_eq!(y.shape(), (50, 1));
+        assert!(w.x_path().exists());
+        let meta = sysds_io::Metadata::load(w.x_path()).unwrap().unwrap();
+        assert_eq!((meta.rows, meta.cols), (50, 4));
+        // idempotent
+        let (x2, _) = w.materialize().unwrap();
+        assert!(x2.approx_eq(&x, 0.0));
+        w.cleanup();
+        assert!(!w.x_path().exists());
+    }
+}

@@ -1,0 +1,39 @@
+//! Ablation 2 (§4.2 I/O claim): "multi-threaded I/O in SysDS yields better
+//! performance ... because string-to-double parsing is compute-intensive".
+//! Measures CSV parse throughput with 1..N parser threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysds_io::FormatDescriptor;
+use sysds_tensor::kernels::gen;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_csv");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    let dir = sysds_bench::bench_dir().join("csv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("parse-bench.csv");
+    let m = gen::rand_uniform(50_000, 40, -1000.0, 1000.0, 1.0, 6101);
+    let desc = FormatDescriptor::csv();
+    sysds_io::csv::write_matrix(&path, &m, &desc).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let mut sweep = vec![1usize, 2, 4, max_threads];
+    sweep.dedup();
+    sweep.sort_unstable();
+    sweep.dedup();
+    for threads in sweep {
+        g.bench_with_input(BenchmarkId::new("parse", threads), &threads, |b, &t| {
+            b.iter(|| sysds_io::csv::parse_matrix(&bytes, &desc, t).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation 4 (§2.4 blocking): distributed blocked execution vs local —
+//! reblock cost, blocked matmul, blocked tsmm, and the n-d local reblock
+//! conversion of the exponentially-decreasing blocking scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysds_dist::{BlockedMatrix, BlockedTensor};
+use sysds_tensor::kernels::{gen, matmult, tsmm};
+use sysds_tensor::BasicTensorBlock;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dist");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let a = gen::rand_uniform(512, 512, -1.0, 1.0, 1.0, 6201);
+    let b = gen::rand_uniform(512, 512, -1.0, 1.0, 1.0, 6202);
+
+    g.bench_function("matmul_local", |bch| {
+        bch.iter(|| matmult::matmul(&a, &b, threads, false).unwrap())
+    });
+    for bs in [64usize, 128, 256] {
+        g.bench_with_input(BenchmarkId::new("matmul_blocked", bs), &bs, |bch, &bs| {
+            bch.iter(|| {
+                let da = BlockedMatrix::from_matrix(&a, bs, threads).unwrap();
+                let db = BlockedMatrix::from_matrix(&b, bs, threads).unwrap();
+                da.matmul(&db, 1).unwrap().to_matrix()
+            })
+        });
+    }
+
+    // Tall-skinny tsmm: local fused vs distributed per-block plan.
+    let x = gen::rand_uniform(40_000, 64, -1.0, 1.0, 1.0, 6203);
+    g.bench_function("tsmm_local", |bch| {
+        bch.iter(|| tsmm::tsmm(&x, threads, false))
+    });
+    g.bench_function("tsmm_dist", |bch| {
+        bch.iter(|| {
+            let d = BlockedMatrix::from_matrix(&x, 1024, threads).unwrap();
+            d.tsmm(1).unwrap()
+        })
+    });
+
+    // Pure reblock overhead (the CSV → binary blocks step of §2.3).
+    g.bench_function("reblock_512x512_bs128", |bch| {
+        bch.iter(|| BlockedMatrix::from_matrix(&a, 128, threads).unwrap())
+    });
+
+    // N-d local blocking conversion (paper: 1024² → 128³ scaled down).
+    let t = BasicTensorBlock::from_f64(
+        vec![64, 64, 16],
+        (0..64 * 64 * 16).map(|v| v as f64).collect(),
+    )
+    .unwrap();
+    g.bench_function("ndblock_reblock_16_to_4", |bch| {
+        bch.iter(|| {
+            let coarse = BlockedTensor::from_tensor(&t, Some(16), threads).unwrap();
+            coarse.reblock_to(4).unwrap()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

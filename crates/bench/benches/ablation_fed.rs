@@ -1,0 +1,51 @@
+//! Ablation 5 (§3.3): federated `lm` vs local `lm`, sweeping the number of
+//! federated sites. Shows the aggregate-only exchange cost and the
+//! parallelism gained from per-site computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use sysds_fed::learn::federated_lm;
+use sysds_fed::{FederatedMatrix, WorkerHandle};
+use sysds_tensor::kernels::BinaryOp;
+use sysds_tensor::kernels::{elementwise, gen, solve, tsmm};
+use sysds_tensor::Matrix;
+
+fn local_lm(x: &Matrix, y: &Matrix, lambda: f64) -> Matrix {
+    let mut g = tsmm::tsmm(x, 1, false);
+    let reg = elementwise::binary_ms(
+        BinaryOp::Mul,
+        &Matrix::Dense(Matrix::identity(g.rows()).to_dense()),
+        lambda,
+    );
+    g = elementwise::binary_mm(BinaryOp::Add, &g, &reg).unwrap();
+    let b = tsmm::tmv(x, y, 1).unwrap();
+    solve::solve(&g, &b).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fed");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    let (x, y) = gen::synthetic_regression(30_000, 40, 1.0, 0.05, 6301);
+
+    g.bench_function("lm_local_1t", |b| b.iter(|| local_lm(&x, &y, 0.001)));
+
+    for sites in [1usize, 2, 4] {
+        // Spawn workers once per configuration; the benchmark measures the
+        // federated instruction round trips, not thread spawning.
+        let workers: Vec<Arc<WorkerHandle>> = (0..sites)
+            .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)))
+            .collect();
+        let fx = FederatedMatrix::scatter(&x, &workers).unwrap();
+        let fy = FederatedMatrix::scatter(&y, &workers).unwrap();
+        g.bench_with_input(BenchmarkId::new("lm_federated", sites), &sites, |b, _| {
+            b.iter(|| federated_lm(&fx, &fy, 0.001).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

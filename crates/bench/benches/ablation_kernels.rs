@@ -1,0 +1,66 @@
+//! Ablation 1 (§4.2 kernel gap): portable naive matmul vs the BLAS-like
+//! blocked kernel vs the fused tsmm, single- and multi-threaded. This is
+//! the micro-level mechanism behind the SysDS vs SysDS-B vs Julia gaps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysds_tensor::kernels::{gen, matmult, reorg, tsmm};
+use sysds_tensor::Matrix;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_kernels");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    // Square matmul: portable vs blocked.
+    let n = 256;
+    let a = gen::rand_uniform(n, n, -1.0, 1.0, 1.0, 6001);
+    let b = gen::rand_uniform(n, n, -1.0, 1.0, 1.0, 6002);
+    g.bench_function(BenchmarkId::new("matmul_naive_1t", n), |bch| {
+        bch.iter(|| matmult::matmul(&a, &b, 1, false).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("matmul_blocked_1t", n), |bch| {
+        bch.iter(|| matmult::matmul(&a, &b, 1, true).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("matmul_naive_mt", n), |bch| {
+        bch.iter(|| matmult::matmul(&a, &b, threads, false).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("matmul_blocked_mt", n), |bch| {
+        bch.iter(|| matmult::matmul(&a, &b, threads, true).unwrap())
+    });
+
+    // Tall-skinny Gram: explicit t(X)%*%X vs fused tsmm (dense + sparse).
+    let x = gen::rand_uniform(20_000, 64, -1.0, 1.0, 1.0, 6003);
+    g.bench_function("gram_explicit_dense", |bch| {
+        bch.iter(|| {
+            let xt = reorg::transpose(&x, threads);
+            matmult::matmul(&xt, &x, threads, false).unwrap()
+        })
+    });
+    g.bench_function("gram_tsmm_dense", |bch| {
+        bch.iter(|| tsmm::tsmm(&x, threads, false))
+    });
+    g.bench_function("gram_tsmm_dense_blas", |bch| {
+        bch.iter(|| tsmm::tsmm(&x, threads, true))
+    });
+
+    let xs: Matrix = gen::rand_uniform(20_000, 64, -1.0, 1.0, 0.1, 6004).compact();
+    assert!(xs.is_sparse());
+    g.bench_function("gram_explicit_sparse", |bch| {
+        bch.iter(|| {
+            let xt = reorg::transpose(&xs, threads);
+            matmult::matmul(&xt, &xs, threads, false).unwrap()
+        })
+    });
+    g.bench_function("gram_tsmm_sparse", |bch| {
+        bch.iter(|| tsmm::tsmm(&xs, threads, false))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation 3 (§3.1 overhead): lineage tracing must be cheap enough to be
+//! always-on. Compares the same script with lineage off, lineage tracing
+//! only, and tracing + reuse — on a workload with NO redundancy, so reuse
+//! cannot win and any gap is pure overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sysds::api::SystemDS;
+use sysds_common::config::ReusePolicy;
+use sysds_common::EngineConfig;
+
+/// A redundancy-free pipeline: every op has distinct inputs.
+const SCRIPT: &str = r#"
+    X = rand(rows=2000, cols=60, seed=1)
+    Y = rand(rows=2000, cols=60, seed=2)
+    A = t(X) %*% Y
+    B = A * 2 + 1
+    C = t(Y) %*% X
+    s = sum(B) + sum(C) + sum(X + Y)
+"#;
+
+fn run(config: EngineConfig) -> f64 {
+    let mut sds = SystemDS::with_config(config).unwrap();
+    let out = sds.execute(SCRIPT, &[], &["s"]).unwrap();
+    out.f64("s").unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lineage");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("lineage_off", |b| b.iter(|| run(EngineConfig::default())));
+    g.bench_function("lineage_trace_only", |b| {
+        b.iter(|| {
+            let config = EngineConfig {
+                lineage: true,
+                ..EngineConfig::default()
+            };
+            run(config)
+        })
+    });
+    g.bench_function("lineage_full_reuse", |b| {
+        b.iter(|| run(EngineConfig::default().reuse_policy(ReusePolicy::FullAndPartial)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

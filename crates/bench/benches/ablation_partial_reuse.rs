@@ -1,0 +1,66 @@
+//! Ablation 6 (§3.1, Example 1): partial reuse in `steplm` — the
+//! compensation plan assembles `tsmm(cbind(Xg, xj))` from the cached
+//! `tsmm(Xg)`, turning O(n·k²) what-if trainings into O(n·k) updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysds::api::SystemDS;
+use sysds::Data;
+use sysds_common::config::ReusePolicy;
+use sysds_common::EngineConfig;
+use sysds_tensor::kernels::BinaryOp;
+use sysds_tensor::kernels::{elementwise, gen, indexing};
+use sysds_tensor::Matrix;
+
+fn dataset(rows: usize, cols: usize) -> (Matrix, Matrix) {
+    let x = gen::rand_uniform(rows, cols, -1.0, 1.0, 1.0, 6401);
+    // two informative features keep the selection loop short & stable
+    let a = indexing::column(&x, 1).unwrap();
+    let b = indexing::column(&x, cols - 2).unwrap();
+    let y = elementwise::binary_mm(
+        BinaryOp::Add,
+        &elementwise::binary_ms(BinaryOp::Mul, &a, 3.0),
+        &elementwise::binary_ms(BinaryOp::Mul, &b, -2.0),
+    )
+    .unwrap();
+    (x, y)
+}
+
+fn run_steplm(x: &Matrix, y: &Matrix, policy: ReusePolicy) {
+    let mut sds = SystemDS::with_config(EngineConfig::default().reuse_policy(policy)).unwrap();
+    sds.execute(
+        "[B, S] = steplm(X=X, y=y, reg=0.000001, max_feat=4)",
+        &[
+            ("X", Data::from_matrix(x.clone())),
+            ("y", Data::from_matrix(y.clone())),
+        ],
+        &["B", "S"],
+    )
+    .unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_partial_reuse");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    for &(rows, cols) in &[(4_000usize, 20usize), (12_000, 30)] {
+        let (x, y) = dataset(rows, cols);
+        let id = format!("{rows}x{cols}");
+        g.bench_with_input(BenchmarkId::new("steplm_no_reuse", &id), &id, |b, _| {
+            b.iter(|| run_steplm(&x, &y, ReusePolicy::None))
+        });
+        g.bench_with_input(BenchmarkId::new("steplm_full_reuse", &id), &id, |b, _| {
+            b.iter(|| run_steplm(&x, &y, ReusePolicy::Full))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("steplm_partial_reuse", &id),
+            &id,
+            |b, _| b.iter(|| run_steplm(&x, &y, ReusePolicy::FullAndPartial)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

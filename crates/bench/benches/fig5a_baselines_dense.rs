@@ -1,0 +1,45 @@
+//! Figure 5(a): baseline comparison on dense data — TF, TF-G, Julia,
+//! SysDS, SysDS-B over the k-model λ sweep. Criterion version with small
+//! sizes; run the `figures` binary for the full paper-style sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysds_baselines::HyperParamWorkload;
+use sysds_bench::{run_baseline, run_sysds, SysVariant};
+
+fn workload(k: usize) -> HyperParamWorkload {
+    let w = HyperParamWorkload {
+        rows: 4_000,
+        cols: 80,
+        sparsity: 1.0,
+        num_models: k,
+        seed: 5001,
+        dir: sysds_bench::bench_dir().join("fig5a"),
+    };
+    w.materialize().expect("inputs");
+    w
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5a_baselines_dense");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for k in [1usize, 4, 8] {
+        let w = workload(k);
+        for engine in ["TF", "TF-G", "Julia"] {
+            g.bench_with_input(BenchmarkId::new(engine, k), &k, |b, _| {
+                b.iter(|| run_baseline(&w, engine))
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("SysDS", k), &k, |b, _| {
+            b.iter(|| run_sysds(&w, SysVariant::Plain))
+        });
+        g.bench_with_input(BenchmarkId::new("SysDS-B", k), &k, |b, _| {
+            b.iter(|| run_sysds(&w, SysVariant::Blas))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

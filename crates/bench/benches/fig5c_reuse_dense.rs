@@ -1,0 +1,41 @@
+//! Figure 5(c): lineage-based reuse of intermediates on the dense
+//! hyper-parameter workload — SysDS vs SysDS w/ Reuse over the k sweep.
+//! The reuse series should stay near-flat as k grows (X'X and X'y hit
+//! the cache for every model after the first).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysds_baselines::HyperParamWorkload;
+use sysds_bench::{run_sysds, SysVariant};
+
+fn workload(k: usize) -> HyperParamWorkload {
+    let w = HyperParamWorkload {
+        rows: 6_000,
+        cols: 100,
+        sparsity: 1.0,
+        num_models: k,
+        seed: 5003,
+        dir: sysds_bench::bench_dir().join("fig5c"),
+    };
+    w.materialize().expect("inputs");
+    w
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5c_reuse_dense");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for k in [1usize, 4, 8, 16] {
+        let w = workload(k);
+        g.bench_with_input(BenchmarkId::new("SysDS", k), &k, |b, _| {
+            b.iter(|| run_sysds(&w, SysVariant::Plain))
+        });
+        g.bench_with_input(BenchmarkId::new("SysDS-Reuse", k), &k, |b, _| {
+            b.iter(|| run_sysds(&w, SysVariant::Reuse))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

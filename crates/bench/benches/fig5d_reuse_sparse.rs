@@ -1,0 +1,41 @@
+//! Figure 5(d): reuse on sparse data while sweeping the number of rows
+//! (fixed k). "The larger the input, the higher the improvements because
+//! the remaining operations access only intermediates, whose size is
+//! independent of the number of rows."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sysds_baselines::HyperParamWorkload;
+use sysds_bench::{run_sysds, SysVariant};
+
+fn workload(rows: usize) -> HyperParamWorkload {
+    let w = HyperParamWorkload {
+        rows,
+        cols: 80,
+        sparsity: 0.1,
+        num_models: 8,
+        seed: 5004,
+        dir: sysds_bench::bench_dir().join("fig5d"),
+    };
+    w.materialize().expect("inputs");
+    w
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5d_reuse_sparse");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for rows in [2_000usize, 6_000, 18_000] {
+        let w = workload(rows);
+        g.bench_with_input(BenchmarkId::new("SysDS", rows), &rows, |b, _| {
+            b.iter(|| run_sysds(&w, SysVariant::Plain))
+        });
+        g.bench_with_input(BenchmarkId::new("SysDS-Reuse", rows), &rows, |b, _| {
+            b.iter(|| run_sysds(&w, SysVariant::Reuse))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Regenerate the paper's Figure 5 series as tables.
+//!
+//! ```bash
+//! cargo run --release -p sysds-bench --bin figures            # all figures
+//! cargo run --release -p sysds-bench --bin figures -- 5a 5c   # subset
+//! SYSDS_SCALE=paper cargo run --release -p sysds-bench --bin figures
+//! ```
+//!
+//! Scales default to a laptop-friendly reduction of the paper's setup
+//! (see `sysds_bench::Scale`); the claims being reproduced are *shapes*:
+//!
+//! * 5(a) dense: SysDS beats TF for one model (multi-threaded CSV parse);
+//!   SysDS-B ≈ Julia; all grow linearly with k.
+//! * 5(b) sparse: SysDS wins big (fused sparse tsmm, no transpose);
+//!   TF pays the materialized transpose per model, TF-G once.
+//! * 5(c): reuse flattens the k-sweep to near-constant after model 1.
+//! * 5(d): the reuse gap grows with the input rows.
+
+use sysds_bench::{mean_secs, print_table, run_baseline, run_sysds, Scale, SysVariant};
+
+/// Also dump each figure's series as a CSV file for plotting when
+/// `--csv <dir>` is passed.
+fn maybe_write_csv(
+    dir: &Option<std::path::PathBuf>,
+    name: &str,
+    xlabel: &str,
+    xs: &[String],
+    series: &[(String, Vec<f64>)],
+) {
+    let Some(dir) = dir else { return };
+    let _ = std::fs::create_dir_all(dir);
+    let mut out = String::new();
+    out.push_str(xlabel);
+    for (n, _) in series {
+        out.push(',');
+        out.push_str(n);
+    }
+    out.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(x);
+        for (_, ys) in series {
+            out.push(',');
+            out.push_str(&ys.get(i).map_or(String::new(), |v| format!("{v:.6}")));
+        }
+        out.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    if std::fs::write(&path, out).is_ok() {
+        eprintln!("# wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let flags: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let csv_path_str = csv_dir.as_ref().map(|p| p.display().to_string());
+    let flags: Vec<String> = flags
+        .into_iter()
+        .filter(|a| Some(a.as_str()) != csv_path_str.as_deref())
+        .collect();
+    let args = flags;
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |f: &str| all || args.iter().any(|a| a == f);
+    let scale = Scale::from_env();
+    println!(
+        "# SystemDS-rs figure harness (rows={}, cols={}, ks={:?})",
+        scale.rows, scale.cols, scale.ks
+    );
+
+    if want("5a") {
+        figure_5a(&scale, &csv_dir);
+    }
+    if want("5b") {
+        figure_5b(&scale, &csv_dir);
+    }
+    if want("5c") {
+        figure_5c(&scale, &csv_dir);
+    }
+    if want("5d") {
+        figure_5d(&scale, &csv_dir);
+    }
+}
+
+fn figure_5a(scale: &Scale, csv: &Option<std::path::PathBuf>) {
+    let mut series: Vec<(String, Vec<f64>)> = ["TF", "TF-G", "Julia"]
+        .iter()
+        .map(|n| (n.to_string(), Vec::new()))
+        .collect();
+    series.push(("SysDS".into(), Vec::new()));
+    series.push(("SysDS-B".into(), Vec::new()));
+    let mut xs = Vec::new();
+    for &k in &scale.ks {
+        let w = scale.workload(k, 1.0);
+        w.materialize().expect("generate inputs");
+        xs.push(k.to_string());
+        for (name, ys) in series.iter_mut() {
+            let secs = mean_secs(|| match name.as_str() {
+                "SysDS" => run_sysds(&w, SysVariant::Plain),
+                "SysDS-B" => run_sysds(&w, SysVariant::Blas),
+                other => run_baseline(&w, other),
+            });
+            ys.push(secs);
+        }
+    }
+    print_table("Figure 5(a): baselines, dense", "k models", &xs, &series);
+    maybe_write_csv(csv, "fig5a", "k", &xs, &series);
+}
+
+fn figure_5b(scale: &Scale, csv: &Option<std::path::PathBuf>) {
+    let mut series: Vec<(String, Vec<f64>)> = ["TF", "TF-G", "Julia"]
+        .iter()
+        .map(|n| (n.to_string(), Vec::new()))
+        .collect();
+    series.push(("SysDS".into(), Vec::new()));
+    let mut xs = Vec::new();
+    for &k in &scale.ks {
+        let w = scale.workload(k, 0.1);
+        w.materialize().expect("generate inputs");
+        xs.push(k.to_string());
+        for (name, ys) in series.iter_mut() {
+            let secs = mean_secs(|| match name.as_str() {
+                "SysDS" => run_sysds(&w, SysVariant::Plain),
+                other => run_baseline(&w, other),
+            });
+            ys.push(secs);
+        }
+    }
+    print_table(
+        "Figure 5(b): baselines, sparse (0.1)",
+        "k models",
+        &xs,
+        &series,
+    );
+    maybe_write_csv(csv, "fig5b", "k", &xs, &series);
+}
+
+fn figure_5c(scale: &Scale, csv: &Option<std::path::PathBuf>) {
+    let mut series = vec![
+        ("SysDS".to_string(), Vec::new()),
+        ("SysDS w/ Reuse".to_string(), Vec::new()),
+    ];
+    let mut xs = Vec::new();
+    for &k in &scale.ks {
+        let w = scale.workload(k, 1.0);
+        w.materialize().expect("generate inputs");
+        xs.push(k.to_string());
+        series[0]
+            .1
+            .push(mean_secs(|| run_sysds(&w, SysVariant::Plain)));
+        series[1]
+            .1
+            .push(mean_secs(|| run_sysds(&w, SysVariant::Reuse)));
+    }
+    print_table("Figure 5(c): reuse, dense", "k models", &xs, &series);
+    maybe_write_csv(csv, "fig5c", "k", &xs, &series);
+}
+
+fn figure_5d(scale: &Scale, csv: &Option<std::path::PathBuf>) {
+    let mut series = vec![
+        ("SysDS".to_string(), Vec::new()),
+        ("SysDS w/ Reuse".to_string(), Vec::new()),
+    ];
+    let mut xs = Vec::new();
+    for &rows in &scale.row_sweep {
+        let w = scale.workload_rows(rows);
+        w.materialize().expect("generate inputs");
+        xs.push(rows.to_string());
+        series[0]
+            .1
+            .push(mean_secs(|| run_sysds(&w, SysVariant::Plain)));
+        series[1]
+            .1
+            .push(mean_secs(|| run_sysds(&w, SysVariant::Reuse)));
+    }
+    print_table(
+        &format!(
+            "Figure 5(d): reuse, sparse rows sweep (k={})",
+            scale.k_sweep
+        ),
+        "nrow(X)",
+        &xs,
+        &series,
+    );
+    maybe_write_csv(csv, "fig5d", "nrow", &xs, &series);
+}

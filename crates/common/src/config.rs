@@ -1,0 +1,145 @@
+//! Engine configuration.
+//!
+//! SystemDS decides between local (CP) and distributed operators based on
+//! memory estimates against the driver budget (paper §2.3), caps buffer-pool
+//! occupancy, and toggles lineage tracing / reuse. All of those knobs live
+//! here so the compiler, runtime, and benchmarks share one source of truth.
+
+use std::path::PathBuf;
+
+/// How lineage-based reuse of intermediates behaves (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReusePolicy {
+    /// No reuse; lineage may still be traced for provenance.
+    None,
+    /// Reuse only exact (full) lineage matches.
+    Full,
+    /// Full reuse plus compensation-plan based partial reuse.
+    FullAndPartial,
+}
+
+/// Global engine configuration, threaded through compiler and runtime.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Degree of parallelism for multi-threaded kernels, parfor, and I/O.
+    pub num_threads: usize,
+    /// Driver memory budget in bytes; operations estimated above this are
+    /// compiled to the distributed backend.
+    pub memory_budget: usize,
+    /// Maximum bytes the buffer pool holds before evicting to disk.
+    pub buffer_pool_limit: usize,
+    /// Directory for buffer-pool spill files.
+    pub spill_dir: PathBuf,
+    /// Whether lineage tracing is enabled.
+    pub lineage: bool,
+    /// Reuse policy for the lineage cache.
+    pub reuse: ReusePolicy,
+    /// Maximum bytes held by the lineage reuse cache.
+    pub reuse_cache_limit: usize,
+    /// Use the optimized (BLAS-like blocked, multi-threaded) matmul kernels
+    /// instead of the portable naive ones. Models SysDS vs SysDS-B (§4.2).
+    pub native_blas: bool,
+    /// Block side length for distributed 2-D blocking (paper: 1024).
+    pub block_size: usize,
+    /// Enable dynamic recompilation of blocks with unknown sizes.
+    pub dynamic_recompile: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        EngineConfig {
+            num_threads: threads,
+            memory_budget: 4 << 30,     // 4 GiB driver budget
+            buffer_pool_limit: 2 << 30, // 2 GiB buffer pool
+            spill_dir: std::env::temp_dir().join("sysds-spill"),
+            lineage: false,
+            reuse: ReusePolicy::None,
+            reuse_cache_limit: 1 << 30, // 1 GiB lineage cache
+            native_blas: false,
+            block_size: 1024,
+            dynamic_recompile: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with lineage tracing and full+partial reuse enabled.
+    pub fn with_reuse() -> Self {
+        EngineConfig {
+            lineage: true,
+            reuse: ReusePolicy::FullAndPartial,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for the thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.num_threads = n.max(1);
+        self
+    }
+
+    /// Builder-style setter for the driver memory budget.
+    pub fn budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Builder-style setter enabling the optimized kernel path (SysDS-B).
+    pub fn blas(mut self, enabled: bool) -> Self {
+        self.native_blas = enabled;
+        self
+    }
+
+    /// Builder-style setter for the reuse policy (implies lineage tracing
+    /// when the policy is not [`ReusePolicy::None`]).
+    pub fn reuse_policy(mut self, policy: ReusePolicy) -> Self {
+        self.reuse = policy;
+        if policy != ReusePolicy::None {
+            self.lineage = true;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = EngineConfig::default();
+        assert!(c.num_threads >= 1);
+        assert!(c.memory_budget > 0);
+        assert_eq!(c.reuse, ReusePolicy::None);
+        assert!(!c.lineage);
+    }
+
+    #[test]
+    fn with_reuse_enables_lineage() {
+        let c = EngineConfig::with_reuse();
+        assert!(c.lineage);
+        assert_eq!(c.reuse, ReusePolicy::FullAndPartial);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = EngineConfig::default().threads(2).budget(1024).blas(true);
+        assert_eq!(c.num_threads, 2);
+        assert_eq!(c.memory_budget, 1024);
+        assert!(c.native_blas);
+    }
+
+    #[test]
+    fn reuse_policy_setter_implies_lineage() {
+        let c = EngineConfig::default().reuse_policy(ReusePolicy::Full);
+        assert!(c.lineage);
+    }
+
+    #[test]
+    fn threads_clamped_to_one() {
+        assert_eq!(EngineConfig::default().threads(0).num_threads, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! A fast, deterministic, non-cryptographic 64-bit hasher.
+//!
+//! Lineage keys (paper §3.1) are structural hashes over lineage DAGs, probed
+//! on *every* instruction execution, so hashing must be cheap. We implement
+//! the FxHash mixing function (as used in rustc) by hand to avoid an extra
+//! dependency; determinism across runs matters because lineage hashes key the
+//! reuse cache and appear in debug traces.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style 64-bit hasher.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` for use in `HashMap`s on hot paths.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// A `HashMap` using [`FxHasher64`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher64`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hash a byte slice in one call.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher64::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Combine two 64-bit hashes order-dependently (for DAG-node hashing).
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    (a.rotate_left(5) ^ b).wrapping_mul(SEED)
+}
+
+/// Hash a string in one call.
+pub fn hash_str(s: &str) -> u64 {
+    hash_bytes(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_str("tsmm"), hash_str("tsmm"));
+        assert_ne!(hash_str("tsmm"), hash_str("ba+*"));
+    }
+
+    #[test]
+    fn combine_is_order_dependent() {
+        let (a, b) = (hash_str("x"), hash_str("y"));
+        assert_ne!(combine(a, b), combine(b, a));
+    }
+
+    #[test]
+    fn unaligned_tail_contributes() {
+        assert_ne!(hash_bytes(b"abcdefgh"), hash_bytes(b"abcdefghi"));
+        assert_ne!(hash_bytes(b"abcdefghi"), hash_bytes(b"abcdefghj"));
+    }
+
+    #[test]
+    fn empty_input_is_stable() {
+        assert_eq!(hash_bytes(b""), hash_bytes(b""));
+    }
+
+    #[test]
+    fn fx_hashmap_usable() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(42, "answer");
+        assert_eq!(m.get(&42), Some(&"answer"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Shared foundations for the `systemds-rs` workspace.
+//!
+//! This crate hosts the pieces every other crate needs: the workspace-wide
+//! error type ([`SysDsError`]), the value-type lattice of the heterogeneous
+//! tensor data model ([`ValueType`], [`ScalarValue`]), engine configuration
+//! ([`config::EngineConfig`]), a fast non-cryptographic hasher used for
+//! lineage keys ([`hash`]), and small deterministic RNG utilities ([`rng`]).
+
+pub mod config;
+pub mod error;
+pub mod hash;
+pub mod rng;
+pub mod value;
+
+pub use config::EngineConfig;
+pub use error::{Result, SysDsError};
+pub use value::{ScalarValue, ValueType};

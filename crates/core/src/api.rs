@@ -1,0 +1,398 @@
+//! Embedding APIs (paper §2.2 (1)).
+//!
+//! * [`SystemDS`] — an `MLContext`-style session: compile + execute DML
+//!   scripts with in-memory inputs and named outputs. The session owns the
+//!   engine state (buffer pool, lineage cache), so reuse carries across
+//!   `execute` calls.
+//! * [`PreparedScript`] — the `JMLC`-style embedded scoring API: a script
+//!   is pre-compiled once and then executed repeatedly with different
+//!   in-memory inputs at low latency.
+
+use crate::builtins;
+use crate::compiler::{compile_program, CompiledProgram};
+use crate::lineage::{CacheStats, LineageItem};
+use crate::parser::parse_program;
+use crate::runtime::instructions::ExecCtx;
+use crate::runtime::value::{Data, SymbolTable};
+use crate::runtime::Interpreter;
+use std::sync::Arc;
+use sysds_common::{EngineConfig, Result, ScalarValue, SysDsError};
+use sysds_fed::{FederatedMatrix, WorkerHandle};
+use sysds_frame::Frame;
+use sysds_tensor::Matrix;
+
+/// Outputs of one script execution.
+#[derive(Debug, Default)]
+pub struct ScriptOutputs {
+    values: Vec<(String, Data)>,
+    lineages: Vec<(String, Option<Arc<LineageItem>>)>,
+    /// Captured `print` output lines.
+    pub stdout: Vec<String>,
+}
+
+impl ScriptOutputs {
+    /// Look up an output by name.
+    pub fn get(&self, name: &str) -> Result<&Data> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d)
+            .ok_or_else(|| SysDsError::runtime(format!("no output '{name}'")))
+    }
+
+    /// An output as a matrix.
+    pub fn matrix(&self, name: &str) -> Result<Arc<Matrix>> {
+        self.get(name)?.as_matrix()
+    }
+
+    /// An output as a scalar.
+    pub fn scalar(&self, name: &str) -> Result<ScalarValue> {
+        self.get(name)?.as_scalar()
+    }
+
+    /// An output as an f64.
+    pub fn f64(&self, name: &str) -> Result<f64> {
+        self.get(name)?.as_f64()
+    }
+
+    /// An output as a frame.
+    pub fn frame(&self, name: &str) -> Result<Arc<Frame>> {
+        self.get(name)?.as_frame()
+    }
+
+    /// The lineage DAG of an output (requires `lineage: true` in the
+    /// engine config). This is the paper's §3.1 provenance: every logical
+    /// operation, literal, named input, and generated seed that produced
+    /// the value.
+    pub fn lineage(&self, name: &str) -> Option<Arc<LineageItem>> {
+        self.lineages
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, l)| l.clone())
+    }
+
+    /// The lineage serialized as a numbered trace, for debugging queries.
+    pub fn lineage_trace(&self, name: &str) -> Option<String> {
+        self.lineage(name).map(|l| l.trace())
+    }
+}
+
+/// An `MLContext`-style session.
+pub struct SystemDS {
+    ctx: Arc<ExecCtx>,
+}
+
+impl Default for SystemDS {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemDS {
+    /// Session with default configuration.
+    pub fn new() -> SystemDS {
+        Self::with_config(EngineConfig::default()).expect("default config is valid")
+    }
+
+    /// Session with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Result<SystemDS> {
+        Ok(SystemDS {
+            ctx: Arc::new(ExecCtx::new(config)?),
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.ctx.config
+    }
+
+    /// Echo `print` output to the process stdout as well as capturing it.
+    pub fn echo_stdout(&mut self, echo: bool) {
+        Arc::get_mut(&mut self.ctx)
+            .expect("echo_stdout requires exclusive session access")
+            .echo = echo;
+    }
+
+    /// Lineage-cache statistics (hits/misses/partial hits).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ctx.cache.stats()
+    }
+
+    /// Clear the lineage reuse cache.
+    pub fn clear_cache(&self) {
+        self.ctx.cache.clear();
+    }
+
+    /// Compile a script (exposed for inspection and tests).
+    pub fn compile(&self, script: &str) -> Result<Arc<CompiledProgram>> {
+        let ast = parse_program(script)?;
+        Ok(Arc::new(compile_program(&ast, &builtins::resolve)?))
+    }
+
+    /// Compile and execute a script with in-memory `inputs`, returning the
+    /// requested `outputs`.
+    pub fn execute(
+        &mut self,
+        script: &str,
+        inputs: &[(&str, Data)],
+        outputs: &[&str],
+    ) -> Result<ScriptOutputs> {
+        let program = self.compile(script)?;
+        run_program(&self.ctx, &program, inputs, outputs)
+    }
+
+    /// Pre-compile a script for repeated low-latency execution (JMLC).
+    pub fn prepare(&self, script: &str, outputs: &[&str]) -> Result<PreparedScript> {
+        let program = self.compile(script)?;
+        Ok(PreparedScript {
+            ctx: self.ctx.clone(),
+            program,
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Scatter a matrix across fresh in-process federated workers and wrap
+    /// it as a federated input value (paper §3.3).
+    pub fn federate(&self, m: &Matrix, num_workers: usize) -> Result<Data> {
+        let workers: Vec<Arc<WorkerHandle>> = (0..num_workers.max(1))
+            .map(|_| Arc::new(WorkerHandle::spawn(vec![], self.ctx.config.num_threads)))
+            .collect();
+        let fed = FederatedMatrix::scatter(m, &workers)?;
+        Ok(Data::Federated(Arc::new(fed)))
+    }
+
+    /// Scatter several row-aligned matrices (e.g. features and labels)
+    /// across ONE shared set of federated workers, so federated
+    /// instructions can combine them site-locally.
+    pub fn federate_many(&self, ms: &[&Matrix], num_workers: usize) -> Result<Vec<Data>> {
+        let workers: Vec<Arc<WorkerHandle>> = (0..num_workers.max(1))
+            .map(|_| Arc::new(WorkerHandle::spawn(vec![], self.ctx.config.num_threads)))
+            .collect();
+        ms.iter()
+            .map(|m| {
+                Ok(Data::Federated(Arc::new(FederatedMatrix::scatter(
+                    m, &workers,
+                )?)))
+            })
+            .collect()
+    }
+
+    /// Wrap a matrix as an input value.
+    pub fn matrix(&self, m: Matrix) -> Result<Data> {
+        self.ctx.wrap_matrix(m)
+    }
+
+    /// Differentiate a scalar-valued DML expression with respect to the
+    /// named input matrices via reverse-mode autodiff over the HOP DAG
+    /// (§3.1: lineage/DAGs as the enabler for auto differentiation).
+    /// Returns `(value, gradients)` with one gradient per `wrt` entry.
+    pub fn gradient(
+        &mut self,
+        expr: &str,
+        inputs: &[(&str, Data)],
+        wrt: &[&str],
+    ) -> Result<(f64, Vec<Arc<Matrix>>)> {
+        let program = parse_program(&format!("__result = ({expr})"))?;
+        let compiled = compile_program(&program, &builtins::resolve)?;
+        let crate::compiler::Block::Basic(block) = &compiled.blocks[0] else {
+            return Err(SysDsError::compile(
+                "gradient() expects a single expression",
+            ));
+        };
+        // Rebind to the expression-block convention and differentiate.
+        let expr_block = crate::compiler::BasicBlock {
+            dag: block.dag.clone(),
+            roots: block
+                .roots
+                .iter()
+                .map(|r| match r {
+                    crate::compiler::Root::Bind(_, id) => {
+                        crate::compiler::Root::Bind("__result".into(), *id)
+                    }
+                    other => other.clone(),
+                })
+                .collect(),
+            plan: parking_lot::Mutex::new(None),
+        };
+        let mut gblock = crate::compiler::autodiff::gradient_block(&expr_block, wrt)?;
+        for r in &mut gblock.roots {
+            if let crate::compiler::Root::Bind(name, _) = r {
+                if name == "__result" {
+                    *name = "__val".into();
+                }
+            }
+        }
+        let mut grad_program = CompiledProgram::default();
+        grad_program
+            .blocks
+            .push(crate::compiler::Block::Basic(gblock));
+        let program = Arc::new(grad_program);
+        let mut wanted: Vec<String> = vec!["__val".into()];
+        wanted.extend(wrt.iter().map(|n| format!("__grad_{n}")));
+        let refs: Vec<&str> = wanted.iter().map(String::as_str).collect();
+        let out = run_program(&self.ctx, &program, inputs, &refs)?;
+        let value = out.f64("__val")?;
+        let grads = wrt
+            .iter()
+            .map(|n| out.matrix(&format!("__grad_{n}")))
+            .collect::<Result<Vec<_>>>()?;
+        Ok((value, grads))
+    }
+}
+
+/// A pre-compiled script bound to a session context.
+pub struct PreparedScript {
+    ctx: Arc<ExecCtx>,
+    program: Arc<CompiledProgram>,
+    outputs: Vec<String>,
+}
+
+impl PreparedScript {
+    /// Execute with fresh inputs; compilation cost is not paid again.
+    pub fn execute(&self, inputs: &[(&str, Data)]) -> Result<ScriptOutputs> {
+        let out_refs: Vec<&str> = self.outputs.iter().map(String::as_str).collect();
+        run_program(&self.ctx, &self.program, inputs, &out_refs)
+    }
+}
+
+fn run_program(
+    ctx: &Arc<ExecCtx>,
+    program: &Arc<CompiledProgram>,
+    inputs: &[(&str, Data)],
+    outputs: &[&str],
+) -> Result<ScriptOutputs> {
+    let mut symbols = SymbolTable::new();
+    for (name, data) in inputs {
+        symbols.set(name.to_string(), data.clone(), None);
+    }
+    let interp = Interpreter::new(ctx.clone(), program.clone());
+    interp.run(&mut symbols)?;
+    let mut out = ScriptOutputs {
+        stdout: ctx.take_stdout(),
+        ..Default::default()
+    };
+    for name in outputs {
+        let entry = symbols.get(name)?;
+        out.values.push((name.to_string(), entry.data.clone()));
+        out.lineages.push((name.to_string(), entry.lineage.clone()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use sysds_tensor::kernels::gen;
+
+    fn session() -> SystemDS {
+        let mut config = EngineConfig::default();
+        config.spill_dir = std::env::temp_dir().join("sysds-api-tests");
+        SystemDS::with_config(config).unwrap()
+    }
+
+    #[test]
+    fn scalar_arithmetic_script() {
+        let mut s = session();
+        let out = s
+            .execute("x = 2 + 3 * 4\ny = x / 2", &[], &["x", "y"])
+            .unwrap();
+        assert_eq!(out.scalar("x").unwrap(), ScalarValue::I64(14));
+        assert_eq!(out.f64("y").unwrap(), 7.0);
+    }
+
+    #[test]
+    fn matrix_input_output() {
+        let mut s = session();
+        let x = gen::rand_uniform(5, 3, 0.0, 1.0, 1.0, 501);
+        let input = s.matrix(x.clone()).unwrap();
+        let out = s
+            .execute("Y = t(X) %*% X", &[("X", input)], &["Y"])
+            .unwrap();
+        let y = out.matrix("Y").unwrap();
+        assert_eq!(y.shape(), (3, 3));
+        let expect = sysds_tensor::kernels::tsmm::tsmm(&x, 1, false);
+        assert!(y.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn print_captured_in_outputs() {
+        let mut s = session();
+        let out = s.execute(r#"print("hello " + 42)"#, &[], &[]).unwrap();
+        assert_eq!(out.stdout, vec!["hello 42".to_string()]);
+    }
+
+    #[test]
+    fn control_flow_executes() {
+        let mut s = session();
+        let out = s
+            .execute(
+                r#"
+                acc = 0
+                for (i in 1:10) { acc = acc + i }
+                j = 0
+                while (j * j < 50) { j = j + 1 }
+                if (acc > 50) { flag = 1 } else { flag = 0 }
+                "#,
+                &[],
+                &["acc", "j", "flag"],
+            )
+            .unwrap();
+        assert_eq!(out.f64("acc").unwrap(), 55.0);
+        assert_eq!(out.f64("j").unwrap(), 8.0);
+        assert_eq!(out.f64("flag").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn missing_output_reported() {
+        let mut s = session();
+        assert!(s.execute("x = 1", &[], &["nope"]).is_err());
+    }
+
+    #[test]
+    fn stop_statement_raises() {
+        let mut s = session();
+        let err = s.execute(r#"stop("by request")"#, &[], &[]).unwrap_err();
+        assert!(matches!(err, SysDsError::Stop(msg) if msg == "by request"));
+    }
+
+    #[test]
+    fn prepared_script_reexecutes() {
+        let s = session();
+        let prep = s.prepare("y = sum(X) * f", &["y"]).unwrap();
+        let a = prep
+            .execute(&[
+                ("X", Data::from_matrix(Matrix::filled(2, 2, 1.0))),
+                ("f", Data::from_f64(10.0)),
+            ])
+            .unwrap();
+        assert_eq!(a.f64("y").unwrap(), 40.0);
+        let b = prep
+            .execute(&[
+                ("X", Data::from_matrix(Matrix::filled(3, 1, 2.0))),
+                ("f", Data::from_f64(0.5)),
+            ])
+            .unwrap();
+        assert_eq!(b.f64("y").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn lmds_builtin_runs_end_to_end() {
+        let mut s = session();
+        let (x, y) = gen::synthetic_regression(60, 4, 1.0, 0.0, 502);
+        let out = s
+            .execute(
+                "B = lmDS(X=X, y=y, reg=0.0)",
+                &[
+                    ("X", Data::from_matrix(x.clone())),
+                    ("y", Data::from_matrix(y.clone())),
+                ],
+                &["B"],
+            )
+            .unwrap();
+        let b = out.matrix("B").unwrap();
+        // zero-noise data: predictions must match labels
+        let yhat = sysds_tensor::kernels::matmult::matmul(&x, &b, 1, false).unwrap();
+        assert!(yhat.approx_eq(&y, 1e-6));
+    }
+}

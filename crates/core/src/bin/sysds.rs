@@ -1,0 +1,155 @@
+//! The `sysds` command-line launcher (paper §2.2 (1): "command line
+//! invocation").
+//!
+//! ```bash
+//! sysds run script.dml                      # execute a DML script
+//! sysds run script.dml --reuse --stats      # with lineage reuse + stats
+//! sysds run script.dml --threads 8 --budget-mb 512
+//! sysds run script.dml --arg X=features.csv # $X substitution
+//! ```
+
+use std::process::ExitCode;
+use sysds::api::SystemDS;
+use sysds_common::config::ReusePolicy;
+use sysds_common::EngineConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sysds run <script.dml> [options]\n\
+         \n\
+         options:\n\
+           --arg NAME=VALUE   substitute $NAME in the script with VALUE\n\
+           --threads N        kernel/parfor parallelism (default: cores)\n\
+           --budget-mb N      driver memory budget before ops go distributed\n\
+           --reuse            enable lineage tracing + full/partial reuse\n\
+           --blas             use the optimized (BLAS-like) kernels\n\
+           --no-recompile     disable dynamic recompilation\n\
+           --stats            print cache statistics after execution\n\
+           --explain          print the compiled program structure"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 || args[0] != "run" {
+        usage();
+    }
+    let script_path = &args[1];
+    let mut config = EngineConfig::default();
+    let mut stats = false;
+    let mut explain = false;
+    let mut substitutions: Vec<(String, String)> = Vec::new();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--arg" => {
+                i += 1;
+                let Some(pair) = args.get(i) else { usage() };
+                let Some((k, v)) = pair.split_once('=') else {
+                    usage()
+                };
+                substitutions.push((k.to_string(), v.to_string()));
+            }
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                config.num_threads = n;
+            }
+            "--budget-mb" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
+                    usage()
+                };
+                config.memory_budget = n << 20;
+            }
+            "--reuse" => config = config.reuse_policy(ReusePolicy::FullAndPartial),
+            "--blas" => config.native_blas = true,
+            "--no-recompile" => config.dynamic_recompile = false,
+            "--stats" => stats = true,
+            "--explain" => explain = true,
+            other => {
+                eprintln!("unknown option '{other}'");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let mut script = match std::fs::read_to_string(script_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read '{script_path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // $NAME substitution, longest names first so $XY wins over $X.
+    substitutions.sort_by_key(|(k, _)| std::cmp::Reverse(k.len()));
+    for (k, v) in &substitutions {
+        script = script.replace(&format!("${k}"), v);
+    }
+
+    let mut sds = match SystemDS::with_config(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("engine init failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    sds.echo_stdout(true);
+
+    if explain {
+        match sds.compile(&script) {
+            Ok(program) => {
+                eprintln!(
+                    "# compiled program: {} top-level blocks",
+                    program.blocks.len()
+                );
+                for (i, b) in program.blocks.iter().enumerate() {
+                    eprintln!("#   block {i}: {}", block_kind(b));
+                }
+                eprintln!("# functions: {}", program.functions.len());
+            }
+            Err(e) => {
+                eprintln!("compile error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let start = std::time::Instant::now();
+    match sds.execute(&script, &[], &[]) {
+        Ok(_) => {
+            if stats {
+                let s = sds.cache_stats();
+                eprintln!(
+                    "# elapsed: {:.3}s; lineage cache: {} hits, {} partial, {} misses, {} evictions",
+                    start.elapsed().as_secs_f64(),
+                    s.hits,
+                    s.partial_hits,
+                    s.misses,
+                    s.evictions
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn block_kind(b: &sysds::compiler::Block) -> String {
+    use sysds::compiler::Block;
+    match b {
+        Block::Basic(bb) => format!("basic ({} hops, {} roots)", bb.dag.len(), bb.roots.len()),
+        Block::If { .. } => "if".into(),
+        Block::For { parallel: true, .. } => "parfor".into(),
+        Block::For { .. } => "for".into(),
+        Block::While { .. } => "while".into(),
+        Block::Call { function, .. } => format!("call {function}"),
+    }
+}

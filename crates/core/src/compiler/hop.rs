@@ -1,0 +1,346 @@
+//! High-level operator (HOP) DAGs.
+//!
+//! All statements of a basic block compile into one DAG of high-level
+//! operators (paper §2.3 (2)). Nodes are hash-consed on construction, which
+//! gives common-subexpression elimination for free; rewrites then replace
+//! patterns (e.g. `t(X) %*% X` → fused `tsmm`), and size propagation
+//! annotates every node with dimensions and sparsity for memory estimates
+//! and operator selection.
+
+use sysds_common::hash::FxHashMap;
+use sysds_common::{ScalarValue, ValueType};
+use sysds_tensor::kernels::{AggFn, BinaryOp, Direction, UnaryOp};
+use sysds_tensor::Matrix;
+
+/// Node id within one DAG.
+pub type HopId = usize;
+
+/// High-level operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HopOp {
+    /// A literal scalar.
+    Lit(ScalarValue),
+    /// Read of a live-in variable.
+    Var(String),
+    /// Element-wise unary op.
+    Unary(UnaryOp),
+    /// Element-wise / scalar binary op (operand kinds resolved at runtime).
+    Binary(BinaryOp),
+    /// Matrix multiplication `%*%`.
+    MatMul,
+    /// Fused transpose-self product `t(X) %*% X` (rewrite-introduced).
+    Tsmm,
+    /// Fused `t(X) %*% y` (rewrite-introduced).
+    Tmv,
+    /// Transpose.
+    Transpose,
+    /// Aggregation.
+    Agg(AggFn, Direction),
+    /// Right indexing; inputs: `target, row_lo, row_hi, col_lo, col_hi`
+    /// (1-based inclusive scalar hops).
+    Index,
+    /// Left indexing; inputs: `target, value, row_lo, row_hi, col_lo, col_hi`.
+    LeftIndex,
+    /// A named runtime builtin with positional inputs (`rand`, `cbind`,
+    /// `solve`, `nrow`, `print`, ...). Named arguments are resolved to
+    /// positions during construction.
+    Nary(&'static str),
+}
+
+impl HopOp {
+    /// Opcode string used for lineage hashing and tracing.
+    pub fn opcode(&self) -> String {
+        match self {
+            HopOp::Lit(v) => format!("lit:{v:?}"),
+            HopOp::Var(n) => format!("var:{n}"),
+            HopOp::Unary(u) => u.opcode().to_string(),
+            HopOp::Binary(b) => b.opcode().to_string(),
+            HopOp::MatMul => "ba+*".to_string(),
+            HopOp::Tsmm => "tsmm".to_string(),
+            HopOp::Tmv => "tmv".to_string(),
+            HopOp::Transpose => "r'".to_string(),
+            HopOp::Agg(f, d) => format!("ua{f:?}{d:?}").to_lowercase(),
+            HopOp::Index => "rightIndex".to_string(),
+            HopOp::LeftIndex => "leftIndex".to_string(),
+            HopOp::Nary(n) => (*n).to_string(),
+        }
+    }
+}
+
+/// Dimension knowledge for size propagation: exact, or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dim {
+    Known(usize),
+    Unknown,
+}
+
+impl Dim {
+    /// Exact value if known.
+    pub fn value(self) -> Option<usize> {
+        match self {
+            Dim::Known(v) => Some(v),
+            Dim::Unknown => None,
+        }
+    }
+}
+
+/// Propagated size information of one HOP output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeInfo {
+    pub rows: Dim,
+    pub cols: Dim,
+    /// Estimated sparsity (`None` = unknown, assume dense).
+    pub sparsity: Option<f64>,
+    /// Whether the output is a scalar (dims 1x1 but cheaper to test).
+    pub scalar: bool,
+}
+
+impl SizeInfo {
+    /// A scalar output.
+    pub fn scalar() -> SizeInfo {
+        SizeInfo {
+            rows: Dim::Known(1),
+            cols: Dim::Known(1),
+            sparsity: Some(1.0),
+            scalar: true,
+        }
+    }
+
+    /// A matrix with both dims unknown.
+    pub fn unknown() -> SizeInfo {
+        SizeInfo {
+            rows: Dim::Unknown,
+            cols: Dim::Unknown,
+            sparsity: None,
+            scalar: false,
+        }
+    }
+
+    /// A matrix with known dims.
+    pub fn matrix(rows: usize, cols: usize, sparsity: Option<f64>) -> SizeInfo {
+        SizeInfo {
+            rows: Dim::Known(rows),
+            cols: Dim::Known(cols),
+            sparsity,
+            scalar: false,
+        }
+    }
+
+    /// Whether both dimensions are known.
+    pub fn fully_known(&self) -> bool {
+        self.rows.value().is_some() && self.cols.value().is_some()
+    }
+
+    /// Memory estimate in bytes (worst case when dims unknown: `usize::MAX`
+    /// forces conservative distributed selection only if budget exceeded).
+    pub fn memory_estimate(&self) -> usize {
+        match (self.rows.value(), self.cols.value()) {
+            (Some(r), Some(c)) => Matrix::estimate_size(r, c, self.sparsity.unwrap_or(1.0)),
+            _ => usize::MAX,
+        }
+    }
+}
+
+/// Where an operator executes (paper: CP vs Spark instructions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecType {
+    /// Local control-program instruction.
+    Cp,
+    /// Simulated distributed instruction over blocked matrices.
+    Dist,
+}
+
+/// One node of the DAG.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    pub op: HopOp,
+    pub inputs: Vec<HopId>,
+    pub size: SizeInfo,
+    pub exec: ExecType,
+}
+
+/// A DAG of high-level operators with hash-consing (CSE on construction).
+#[derive(Debug, Clone, Default)]
+pub struct HopDag {
+    nodes: Vec<Hop>,
+    /// CSE table: (opcode, inputs) → node id. `Var` and effectful `Nary`
+    /// ops are excluded (see [`HopDag::add`]).
+    cse: FxHashMap<(String, Vec<HopId>), HopId>,
+}
+
+/// Builtins with side effects (never CSE'd, never dead-code eliminated).
+pub fn is_effectful(name: &str) -> bool {
+    matches!(name, "print" | "write" | "stop")
+}
+
+/// Builtins that are non-deterministic without an explicit seed; excluded
+/// from CSE (their lineage captures the generated seed instead).
+pub fn is_nondeterministic(name: &str) -> bool {
+    matches!(name, "rand_unseeded")
+}
+
+impl HopDag {
+    /// Empty DAG.
+    pub fn new() -> HopDag {
+        HopDag::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: HopId) -> &Hop {
+        &self.nodes[id]
+    }
+
+    /// Mutably borrow a node (rewrites).
+    pub fn node_mut(&mut self, id: HopId) -> &mut Hop {
+        &mut self.nodes[id]
+    }
+
+    /// All nodes in insertion (topological) order.
+    pub fn nodes(&self) -> &[Hop] {
+        &self.nodes
+    }
+
+    /// Add a node with hash-consing. Effectful and non-deterministic ops
+    /// always get fresh nodes.
+    pub fn add(&mut self, op: HopOp, inputs: Vec<HopId>) -> HopId {
+        let skip_cse = match &op {
+            HopOp::Nary(n) => is_effectful(n) || is_nondeterministic(n),
+            _ => false,
+        };
+        let key = (op.opcode(), inputs.clone());
+        if !skip_cse {
+            if let Some(&id) = self.cse.get(&key) {
+                return id;
+            }
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Hop {
+            op,
+            inputs,
+            size: SizeInfo::unknown(),
+            exec: ExecType::Cp,
+        });
+        if !skip_cse {
+            self.cse.insert(key, id);
+        }
+        id
+    }
+
+    /// Add a literal (hash-consed by value).
+    pub fn lit(&mut self, v: ScalarValue) -> HopId {
+        self.add(HopOp::Lit(v), Vec::new())
+    }
+
+    /// Replace node `id`'s operator and inputs in place (rewrites). The CSE
+    /// table is not updated — rewrites run after construction.
+    pub fn replace(&mut self, id: HopId, op: HopOp, inputs: Vec<HopId>) {
+        let n = &mut self.nodes[id];
+        n.op = op;
+        n.inputs = inputs;
+    }
+
+    /// Mark nodes reachable from `roots`; used by dead-code elimination.
+    pub fn reachable(&self, roots: &[HopId]) -> Vec<bool> {
+        let mut mark = vec![false; self.nodes.len()];
+        let mut stack: Vec<HopId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if mark[id] {
+                continue;
+            }
+            mark[id] = true;
+            stack.extend(self.nodes[id].inputs.iter().copied());
+        }
+        mark
+    }
+
+    /// The literal value of a node, if it is a literal.
+    pub fn as_lit(&self, id: HopId) -> Option<&ScalarValue> {
+        match &self.nodes[id].op {
+            HopOp::Lit(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Infer the value type a node produces where statically known.
+    pub fn value_type(&self, id: HopId) -> Option<ValueType> {
+        match &self.nodes[id].op {
+            HopOp::Lit(v) => Some(v.value_type()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let t1 = dag.add(HopOp::Transpose, vec![x]);
+        let t2 = dag.add(HopOp::Transpose, vec![x]);
+        assert_eq!(t1, t2);
+        assert_eq!(dag.len(), 2);
+    }
+
+    #[test]
+    fn effectful_ops_not_consed() {
+        let mut dag = HopDag::new();
+        let s = dag.lit(ScalarValue::Str("hi".into()));
+        let p1 = dag.add(HopOp::Nary("print"), vec![s]);
+        let p2 = dag.add(HopOp::Nary("print"), vec![s]);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn literals_consed_by_value() {
+        let mut dag = HopDag::new();
+        let a = dag.lit(ScalarValue::F64(1.0));
+        let b = dag.lit(ScalarValue::F64(1.0));
+        let c = dag.lit(ScalarValue::F64(2.0));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn reachability() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let t = dag.add(HopOp::Transpose, vec![x]);
+        let dead = dag.add(HopOp::Var("Y".into()), vec![]);
+        let mark = dag.reachable(&[t]);
+        assert!(mark[x] && mark[t]);
+        assert!(!mark[dead]);
+    }
+
+    #[test]
+    fn size_info_memory_estimates() {
+        let dense = SizeInfo::matrix(100, 100, Some(1.0));
+        let sparse = SizeInfo::matrix(100, 100, Some(0.01));
+        assert!(dense.memory_estimate() > sparse.memory_estimate());
+        assert_eq!(SizeInfo::unknown().memory_estimate(), usize::MAX);
+        assert!(SizeInfo::scalar().fully_known());
+    }
+
+    #[test]
+    fn opcode_strings() {
+        assert_eq!(HopOp::MatMul.opcode(), "ba+*");
+        assert_eq!(HopOp::Tsmm.opcode(), "tsmm");
+        assert_eq!(HopOp::Binary(BinaryOp::Add).opcode(), "+");
+        assert_eq!(
+            HopOp::Agg(AggFn::Sum, Direction::Full).opcode(),
+            "uasumfull"
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! HOP rewrites: constant folding, algebraic simplification, and fusion.
+//!
+//! Two rounds, as in SystemML:
+//! * **static** rewrites need no size information — constant folding,
+//!   double-transpose elimination, identity ops (`X*1`, `X+0`, `X^1`),
+//!   and the `t(X) %*% X` → `tsmm` fusion;
+//! * **dynamic** rewrites use propagated sizes — `t(X) %*% y` → fused
+//!   `tmv` when `y` is a column vector. They re-run at dynamic
+//!   recompilation when sizes first become known.
+
+use super::hop::{Dim, HopDag, HopId, HopOp};
+use sysds_common::ScalarValue;
+use sysds_tensor::kernels::{BinaryOp, UnaryOp};
+
+/// Apply static rewrites; returns remapped roots.
+pub fn rewrite_static(dag: &mut HopDag, roots: &[HopId]) -> Vec<HopId> {
+    let mut map: Vec<HopId> = (0..dag.len()).collect();
+    for id in 0..dag.len() {
+        // Remap inputs through earlier replacements first.
+        let inputs: Vec<HopId> = dag.node(id).inputs.iter().map(|&i| map[i]).collect();
+        dag.node_mut(id).inputs = inputs.clone();
+
+        let replacement = constant_fold(dag, id)
+            .or_else(|| double_transpose(dag, id))
+            .or_else(|| identity_op(dag, id))
+            .or_else(|| transpose_invariant_agg(dag, id))
+            .or_else(|| sigmoid_fusion(dag, id))
+            .or_else(|| tsmm_fusion(dag, id));
+        if let Some(rep) = replacement {
+            map[id] = rep;
+        }
+    }
+    roots.iter().map(|&r| map[r]).collect()
+}
+
+/// Apply size-dependent rewrites (after size propagation).
+pub fn rewrite_dynamic(dag: &mut HopDag) {
+    for id in 0..dag.len() {
+        tmv_fusion(dag, id);
+    }
+}
+
+/// Fold `Binary(lit, lit)` and `Unary(lit)` into literals.
+fn constant_fold(dag: &mut HopDag, id: HopId) -> Option<HopId> {
+    let node = dag.node(id);
+    match (&node.op, node.inputs.as_slice()) {
+        (HopOp::Binary(op), &[a, b]) => {
+            let (va, vb) = (dag.as_lit(a)?, dag.as_lit(b)?);
+            // String concatenation via `+`.
+            if let (BinaryOp::Add, ScalarValue::Str(x), y) = (*op, va, vb) {
+                let folded = ScalarValue::Str(format!("{x}{}", y.to_display_string()));
+                return Some(dag.lit(folded));
+            }
+            if let (BinaryOp::Add, x, ScalarValue::Str(y)) = (*op, va, vb) {
+                let folded = ScalarValue::Str(format!("{}{y}", x.to_display_string()));
+                return Some(dag.lit(folded));
+            }
+            let (x, y) = (va.as_f64().ok()?, vb.as_f64().ok()?);
+            let v = op.apply(x, y);
+            let folded = fold_value(*op, va, vb, v);
+            Some(dag.lit(folded))
+        }
+        (HopOp::Unary(op), &[a]) => {
+            let va = dag.as_lit(a)?;
+            let x = va.as_f64().ok()?;
+            let v = op.apply(x);
+            let folded = match (op, va) {
+                (UnaryOp::Neg, ScalarValue::I64(i)) => ScalarValue::I64(-i),
+                (UnaryOp::Not, _) => ScalarValue::Bool(v != 0.0),
+                _ => ScalarValue::F64(v),
+            };
+            Some(dag.lit(folded))
+        }
+        _ => None,
+    }
+}
+
+fn fold_value(op: BinaryOp, a: &ScalarValue, b: &ScalarValue, v: f64) -> ScalarValue {
+    use BinaryOp::*;
+    match op {
+        Eq | Neq | Lt | Le | Gt | Ge | And | Or => ScalarValue::Bool(v != 0.0),
+        Add | Sub | Mul | IntDiv | Mod | Min | Max
+            if matches!(a, ScalarValue::I64(_) | ScalarValue::Bool(_))
+                && matches!(b, ScalarValue::I64(_) | ScalarValue::Bool(_))
+                && v.fract() == 0.0 =>
+        {
+            ScalarValue::I64(v as i64)
+        }
+        _ => ScalarValue::F64(v),
+    }
+}
+
+/// `t(t(X))` → `X`.
+fn double_transpose(dag: &HopDag, id: HopId) -> Option<HopId> {
+    let node = dag.node(id);
+    if node.op != HopOp::Transpose {
+        return None;
+    }
+    let inner = dag.node(node.inputs[0]);
+    if inner.op == HopOp::Transpose {
+        Some(inner.inputs[0])
+    } else {
+        None
+    }
+}
+
+/// `X*1`, `1*X`, `X+0`, `0+X`, `X-0`, `X/1`, `X^1` → `X`.
+fn identity_op(dag: &HopDag, id: HopId) -> Option<HopId> {
+    let node = dag.node(id);
+    let HopOp::Binary(op) = node.op else {
+        return None;
+    };
+    let &[a, b] = node.inputs.as_slice() else {
+        return None;
+    };
+    let lit_is = |x: HopId, v: f64| dag.as_lit(x).and_then(|l| l.as_f64().ok()) == Some(v);
+    match op {
+        BinaryOp::Mul if lit_is(b, 1.0) => Some(a),
+        BinaryOp::Mul if lit_is(a, 1.0) => Some(b),
+        BinaryOp::Add if lit_is(b, 0.0) => Some(a),
+        BinaryOp::Add if lit_is(a, 0.0) => Some(b),
+        BinaryOp::Sub if lit_is(b, 0.0) => Some(a),
+        BinaryOp::Div if lit_is(b, 1.0) => Some(a),
+        BinaryOp::Pow if lit_is(b, 1.0) => Some(a),
+        _ => None,
+    }
+}
+
+/// Full aggregates are invariant under transpose: `sum(t(X))` → `sum(X)`
+/// (same for mean/min/max/var/sd/sumSq).
+fn transpose_invariant_agg(dag: &mut HopDag, id: HopId) -> Option<HopId> {
+    let node = dag.node(id);
+    let HopOp::Agg(f, dir) = node.op else {
+        return None;
+    };
+    if dir != sysds_tensor::kernels::Direction::Full {
+        return None;
+    }
+    let inner = dag.node(node.inputs[0]);
+    if inner.op == HopOp::Transpose {
+        let x = inner.inputs[0];
+        dag.replace(id, HopOp::Agg(f, dir), vec![x]);
+    }
+    None // structural replacement
+}
+
+/// Fuse the logistic pattern `1 / (1 + exp(-X))` into a single `sigmoid`
+/// operator (paper §3.4, operator fusion).
+fn sigmoid_fusion(dag: &mut HopDag, id: HopId) -> Option<HopId> {
+    let node = dag.node(id);
+    let HopOp::Binary(BinaryOp::Div) = node.op else {
+        return None;
+    };
+    let &[one_a, denom] = node.inputs.as_slice() else {
+        return None;
+    };
+    let lit_is_one = |x: HopId| dag.as_lit(x).and_then(|l| l.as_f64().ok()) == Some(1.0);
+    if !lit_is_one(one_a) {
+        return None;
+    }
+    let dnode = dag.node(denom);
+    let HopOp::Binary(BinaryOp::Add) = dnode.op else {
+        return None;
+    };
+    let &[l, r] = dnode.inputs.as_slice() else {
+        return None;
+    };
+    // accept 1 + exp(-x) in either operand order
+    let (one_b, exp_id) = if lit_is_one(l) { (l, r) } else { (r, l) };
+    if !lit_is_one(one_b) {
+        return None;
+    }
+    let enode = dag.node(exp_id);
+    if enode.op != HopOp::Unary(UnaryOp::Exp) {
+        return None;
+    }
+    let nnode = dag.node(enode.inputs[0]);
+    if nnode.op != HopOp::Unary(UnaryOp::Neg) {
+        return None;
+    }
+    let x = nnode.inputs[0];
+    dag.replace(id, HopOp::Unary(UnaryOp::Sigmoid), vec![x]);
+    None // structural replacement
+}
+
+/// `t(X) %*% X` → `tsmm(X)` (in place).
+fn tsmm_fusion(dag: &mut HopDag, id: HopId) -> Option<HopId> {
+    let node = dag.node(id);
+    if node.op != HopOp::MatMul {
+        return None;
+    }
+    let &[l, r] = node.inputs.as_slice() else {
+        return None;
+    };
+    let lnode = dag.node(l);
+    if lnode.op == HopOp::Transpose && lnode.inputs[0] == r {
+        dag.replace(id, HopOp::Tsmm, vec![r]);
+    }
+    None // structural replacement, not an alias
+}
+
+/// `t(X) %*% y` → `tmv(X, y)` when `y` is known to be a column vector.
+fn tmv_fusion(dag: &mut HopDag, id: HopId) {
+    let node = dag.node(id);
+    if node.op != HopOp::MatMul {
+        return;
+    }
+    let &[l, r] = node.inputs.as_slice() else {
+        return;
+    };
+    let lnode = dag.node(l);
+    if lnode.op != HopOp::Transpose {
+        return;
+    }
+    let x = lnode.inputs[0];
+    if dag.node(r).size.cols == Dim::Known(1) && !dag.node(r).size.scalar {
+        dag.replace(id, HopOp::Tmv, vec![x, r]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::hop::SizeInfo;
+    use crate::compiler::size::{propagate, SizeEnv};
+    use sysds_common::EngineConfig;
+
+    #[test]
+    fn folds_arithmetic() {
+        let mut dag = HopDag::new();
+        let a = dag.lit(ScalarValue::I64(2));
+        let b = dag.lit(ScalarValue::I64(3));
+        let sum = dag.add(HopOp::Binary(BinaryOp::Add), vec![a, b]);
+        let roots = rewrite_static(&mut dag, &[sum]);
+        assert_eq!(dag.as_lit(roots[0]), Some(&ScalarValue::I64(5)));
+    }
+
+    #[test]
+    fn folds_comparisons_to_bool() {
+        let mut dag = HopDag::new();
+        let a = dag.lit(ScalarValue::I64(2));
+        let b = dag.lit(ScalarValue::I64(3));
+        let cmp = dag.add(HopOp::Binary(BinaryOp::Lt), vec![a, b]);
+        let roots = rewrite_static(&mut dag, &[cmp]);
+        assert_eq!(dag.as_lit(roots[0]), Some(&ScalarValue::Bool(true)));
+    }
+
+    #[test]
+    fn folds_string_concat() {
+        let mut dag = HopDag::new();
+        let a = dag.lit(ScalarValue::Str("k=".into()));
+        let b = dag.lit(ScalarValue::I64(7));
+        let cat = dag.add(HopOp::Binary(BinaryOp::Add), vec![a, b]);
+        let roots = rewrite_static(&mut dag, &[cat]);
+        assert_eq!(dag.as_lit(roots[0]), Some(&ScalarValue::Str("k=7".into())));
+    }
+
+    #[test]
+    fn folds_transitively() {
+        // (1 + 2) * 3 folds to 9
+        let mut dag = HopDag::new();
+        let a = dag.lit(ScalarValue::I64(1));
+        let b = dag.lit(ScalarValue::I64(2));
+        let sum = dag.add(HopOp::Binary(BinaryOp::Add), vec![a, b]);
+        let c = dag.lit(ScalarValue::I64(3));
+        let prod = dag.add(HopOp::Binary(BinaryOp::Mul), vec![sum, c]);
+        let roots = rewrite_static(&mut dag, &[prod]);
+        assert_eq!(dag.as_lit(roots[0]), Some(&ScalarValue::I64(9)));
+    }
+
+    #[test]
+    fn eliminates_double_transpose() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let t1 = dag.add(HopOp::Transpose, vec![x]);
+        let t2 = dag.add(HopOp::Transpose, vec![t1]);
+        let roots = rewrite_static(&mut dag, &[t2]);
+        assert_eq!(roots[0], x);
+    }
+
+    #[test]
+    fn identity_ops_eliminated() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let one = dag.lit(ScalarValue::F64(1.0));
+        let zero = dag.lit(ScalarValue::F64(0.0));
+        let m = dag.add(HopOp::Binary(BinaryOp::Mul), vec![x, one]);
+        let a = dag.add(HopOp::Binary(BinaryOp::Add), vec![m, zero]);
+        let roots = rewrite_static(&mut dag, &[a]);
+        assert_eq!(roots[0], x);
+    }
+
+    #[test]
+    fn tsmm_fused_from_pattern() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let t = dag.add(HopOp::Transpose, vec![x]);
+        let mm = dag.add(HopOp::MatMul, vec![t, x]);
+        let roots = rewrite_static(&mut dag, &[mm]);
+        assert_eq!(dag.node(roots[0]).op, HopOp::Tsmm);
+        assert_eq!(dag.node(roots[0]).inputs, vec![x]);
+    }
+
+    #[test]
+    fn tmv_fused_when_vector_known() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let y = dag.add(HopOp::Var("y".into()), vec![]);
+        let t = dag.add(HopOp::Transpose, vec![x]);
+        let mm = dag.add(HopOp::MatMul, vec![t, y]);
+        let mut env = SizeEnv::default();
+        env.insert("X".into(), SizeInfo::matrix(100, 5, Some(1.0)));
+        env.insert("y".into(), SizeInfo::matrix(100, 1, Some(1.0)));
+        propagate(&mut dag, &env, &EngineConfig::default(), &[mm]);
+        rewrite_dynamic(&mut dag);
+        assert_eq!(dag.node(mm).op, HopOp::Tmv);
+        assert_eq!(dag.node(mm).inputs, vec![x, y]);
+
+        // Without size knowledge the pattern is left alone.
+        let mut dag2 = HopDag::new();
+        let x2 = dag2.add(HopOp::Var("X".into()), vec![]);
+        let y2 = dag2.add(HopOp::Var("y".into()), vec![]);
+        let t2 = dag2.add(HopOp::Transpose, vec![x2]);
+        let mm2 = dag2.add(HopOp::MatMul, vec![t2, y2]);
+        propagate(
+            &mut dag2,
+            &SizeEnv::default(),
+            &EngineConfig::default(),
+            &[mm2],
+        );
+        rewrite_dynamic(&mut dag2);
+        assert_eq!(dag2.node(mm2).op, HopOp::MatMul);
+    }
+
+    #[test]
+    fn tsmm_not_fused_for_different_operands() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let y = dag.add(HopOp::Var("Y".into()), vec![]);
+        let t = dag.add(HopOp::Transpose, vec![x]);
+        let mm = dag.add(HopOp::MatMul, vec![t, y]);
+        rewrite_static(&mut dag, &[mm]);
+        assert_eq!(dag.node(mm).op, HopOp::MatMul);
+    }
+
+    #[test]
+    fn sum_of_transpose_drops_transpose() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let t = dag.add(HopOp::Transpose, vec![x]);
+        let s = dag.add(
+            HopOp::Agg(
+                sysds_tensor::kernels::AggFn::Sum,
+                sysds_tensor::kernels::Direction::Full,
+            ),
+            vec![t],
+        );
+        rewrite_static(&mut dag, &[s]);
+        assert_eq!(dag.node(s).inputs, vec![x]);
+        // row aggregates are NOT transpose-invariant and stay untouched
+        let r = dag.add(
+            HopOp::Agg(
+                sysds_tensor::kernels::AggFn::Sum,
+                sysds_tensor::kernels::Direction::Row,
+            ),
+            vec![t],
+        );
+        rewrite_static(&mut dag, &[r]);
+        assert_eq!(dag.node(r).inputs, vec![t]);
+    }
+
+    #[test]
+    fn sigmoid_pattern_fused() {
+        // 1 / (1 + exp(-X)) → sigmoid(X)
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let neg = dag.add(HopOp::Unary(UnaryOp::Neg), vec![x]);
+        let ex = dag.add(HopOp::Unary(UnaryOp::Exp), vec![neg]);
+        let one = dag.lit(ScalarValue::F64(1.0));
+        let denom = dag.add(HopOp::Binary(BinaryOp::Add), vec![one, ex]);
+        let div = dag.add(HopOp::Binary(BinaryOp::Div), vec![one, denom]);
+        rewrite_static(&mut dag, &[div]);
+        assert_eq!(dag.node(div).op, HopOp::Unary(UnaryOp::Sigmoid));
+        assert_eq!(dag.node(div).inputs, vec![x]);
+    }
+
+    #[test]
+    fn sigmoid_pattern_not_fused_for_other_constants() {
+        // 2 / (1 + exp(-X)) must stay a division
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let neg = dag.add(HopOp::Unary(UnaryOp::Neg), vec![x]);
+        let ex = dag.add(HopOp::Unary(UnaryOp::Exp), vec![neg]);
+        let one = dag.lit(ScalarValue::F64(1.0));
+        let two = dag.lit(ScalarValue::F64(2.0));
+        let denom = dag.add(HopOp::Binary(BinaryOp::Add), vec![one, ex]);
+        let div = dag.add(HopOp::Binary(BinaryOp::Div), vec![two, denom]);
+        rewrite_static(&mut dag, &[div]);
+        assert_eq!(dag.node(div).op, HopOp::Binary(BinaryOp::Div));
+    }
+
+    #[test]
+    fn unary_fold() {
+        let mut dag = HopDag::new();
+        let a = dag.lit(ScalarValue::F64(4.0));
+        let s = dag.add(HopOp::Unary(UnaryOp::Sqrt), vec![a]);
+        let roots = rewrite_static(&mut dag, &[s]);
+        assert_eq!(dag.as_lit(roots[0]), Some(&ScalarValue::F64(2.0)));
+        // integer negation stays integer
+        let i = dag.lit(ScalarValue::I64(3));
+        let n = dag.add(HopOp::Unary(UnaryOp::Neg), vec![i]);
+        let roots = rewrite_static(&mut dag, &[n]);
+        assert_eq!(dag.as_lit(roots[0]), Some(&ScalarValue::I64(-3)));
+    }
+}

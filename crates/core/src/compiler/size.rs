@@ -1,0 +1,491 @@
+//! Size propagation: dimensions and sparsity through HOP DAGs (paper §2.3).
+//!
+//! Sizes feed memory estimates, which in turn drive operator selection
+//! (CP vs distributed) and flag blocks for dynamic recompilation when
+//! unknown at compile time.
+
+use super::hop::{Dim, ExecType, HopDag, HopId, HopOp, SizeInfo};
+use sysds_common::hash::FxHashMap;
+use sysds_common::{EngineConfig, ScalarValue};
+use sysds_tensor::kernels::Direction;
+
+/// Known sizes of live-in variables at block entry.
+pub type SizeEnv = FxHashMap<String, SizeInfo>;
+
+/// Propagate sizes through the DAG given entry sizes; annotates every node
+/// and selects execution types against the memory budget. Returns whether
+/// any reachable node has unknown dimensions (→ recompilation needed).
+#[allow(clippy::needless_range_loop)] // ids index both dag and mark
+pub fn propagate(dag: &mut HopDag, env: &SizeEnv, config: &EngineConfig, roots: &[HopId]) -> bool {
+    let mark = dag.reachable(roots);
+    let mut any_unknown = false;
+    for id in 0..dag.len() {
+        let size = infer(dag, id, env);
+        dag.node_mut(id).size = size;
+        let exec = select_exec(dag, id, config);
+        dag.node_mut(id).exec = exec;
+        if mark[id] && !size.fully_known() {
+            any_unknown = true;
+        }
+    }
+    any_unknown
+}
+
+fn lit_usize(dag: &HopDag, id: HopId) -> Option<usize> {
+    match dag.as_lit(id)? {
+        ScalarValue::I64(v) if *v >= 0 => Some(*v as usize),
+        ScalarValue::F64(v) if *v >= 0.0 => Some(*v as usize),
+        _ => None,
+    }
+}
+
+fn infer(dag: &HopDag, id: HopId, env: &SizeEnv) -> SizeInfo {
+    let node = dag.node(id);
+    let input = |k: usize| dag.node(node.inputs[k]).size;
+    match &node.op {
+        HopOp::Lit(_) => SizeInfo::scalar(),
+        HopOp::Var(name) => env.get(name).copied().unwrap_or_else(SizeInfo::unknown),
+        HopOp::Unary(u) => {
+            let s = input(0);
+            let sparsity = if u.zero_preserving() {
+                s.sparsity
+            } else {
+                Some(1.0)
+            };
+            SizeInfo { sparsity, ..s }
+        }
+        HopOp::Binary(b) => {
+            let (l, r) = (input(0), input(1));
+            // Scalar op scalar stays scalar; otherwise the matrix side wins.
+            if l.scalar && r.scalar {
+                return SizeInfo::scalar();
+            }
+            let shape = if l.scalar { r } else { l };
+            let sparsity = if b.zero_preserving_left() || b.zero_preserving_right() {
+                // worst case: min of the operand sparsities
+                match (l.sparsity, r.sparsity) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (Some(a), None) | (None, Some(a)) => Some(a),
+                    _ => None,
+                }
+            } else {
+                Some(1.0)
+            };
+            SizeInfo {
+                sparsity,
+                scalar: false,
+                ..shape
+            }
+        }
+        HopOp::MatMul => {
+            let (l, r) = (input(0), input(1));
+            SizeInfo {
+                rows: l.rows,
+                cols: r.cols,
+                sparsity: None,
+                scalar: false,
+            }
+        }
+        HopOp::Tsmm => {
+            let s = input(0);
+            SizeInfo {
+                rows: s.cols,
+                cols: s.cols,
+                sparsity: None,
+                scalar: false,
+            }
+        }
+        HopOp::Tmv => {
+            let s = input(0);
+            SizeInfo {
+                rows: s.cols,
+                cols: Dim::Known(1),
+                sparsity: None,
+                scalar: false,
+            }
+        }
+        HopOp::Transpose => {
+            let s = input(0);
+            SizeInfo {
+                rows: s.cols,
+                cols: s.rows,
+                sparsity: s.sparsity,
+                scalar: false,
+            }
+        }
+        HopOp::Agg(_, dir) => {
+            let s = input(0);
+            match dir {
+                Direction::Full => SizeInfo::scalar(),
+                Direction::Row => SizeInfo {
+                    rows: s.rows,
+                    cols: Dim::Known(1),
+                    sparsity: Some(1.0),
+                    scalar: false,
+                },
+                Direction::Col => SizeInfo {
+                    rows: Dim::Known(1),
+                    cols: s.cols,
+                    sparsity: Some(1.0),
+                    scalar: false,
+                },
+            }
+        }
+        HopOp::Index => {
+            // inputs: target, rl, rh, cl, ch (1-based inclusive literals or
+            // dynamic scalars).
+            let rl = lit_usize(dag, node.inputs[1]);
+            let rh = lit_usize(dag, node.inputs[2]);
+            let cl = lit_usize(dag, node.inputs[3]);
+            let ch = lit_usize(dag, node.inputs[4]);
+            let rows = match (rl, rh) {
+                (Some(a), Some(b)) if b >= a => Dim::Known(b - a + 1),
+                _ => Dim::Unknown,
+            };
+            let cols = match (cl, ch) {
+                (Some(a), Some(b)) if b >= a => Dim::Known(b - a + 1),
+                _ => Dim::Unknown,
+            };
+            SizeInfo {
+                rows,
+                cols,
+                sparsity: input(0).sparsity,
+                scalar: false,
+            }
+        }
+        HopOp::LeftIndex => input(0),
+        HopOp::Nary(name) => infer_nary(dag, id, name),
+    }
+}
+
+fn infer_nary(dag: &HopDag, id: HopId, name: &str) -> SizeInfo {
+    let node = dag.node(id);
+    let input = |k: usize| dag.node(node.inputs[k]).size;
+    match name {
+        "rand" => {
+            // rows, cols, min, max, sparsity, seed
+            let rows = node.inputs.first().and_then(|&i| lit_usize(dag, i));
+            let cols = node.inputs.get(1).and_then(|&i| lit_usize(dag, i));
+            let sparsity = node
+                .inputs
+                .get(4)
+                .and_then(|&i| dag.as_lit(i))
+                .and_then(|v| v.as_f64().ok());
+            SizeInfo {
+                rows: rows.map_or(Dim::Unknown, Dim::Known),
+                cols: cols.map_or(Dim::Unknown, Dim::Known),
+                sparsity,
+                scalar: false,
+            }
+        }
+        "matrix" => {
+            // data, rows, cols
+            let rows = node.inputs.get(1).and_then(|&i| lit_usize(dag, i));
+            let cols = node.inputs.get(2).and_then(|&i| lit_usize(dag, i));
+            SizeInfo {
+                rows: rows.map_or(Dim::Unknown, Dim::Known),
+                cols: cols.map_or(Dim::Unknown, Dim::Known),
+                sparsity: None,
+                scalar: false,
+            }
+        }
+        "seq" => {
+            let f = node.inputs.first().and_then(|&i| lit_usize(dag, i));
+            let t = node.inputs.get(1).and_then(|&i| lit_usize(dag, i));
+            let step = node
+                .inputs
+                .get(2)
+                .and_then(|&i| lit_usize(dag, i))
+                .unwrap_or(1);
+            let rows = match (f, t) {
+                (Some(a), Some(b)) if b >= a && step > 0 => Dim::Known((b - a) / step + 1),
+                _ => Dim::Unknown,
+            };
+            SizeInfo {
+                rows,
+                cols: Dim::Known(1),
+                sparsity: Some(1.0),
+                scalar: false,
+            }
+        }
+        "read" => {
+            // consult the .mtd sidecar when the path is a literal
+            if let Some(ScalarValue::Str(path)) = node.inputs.first().and_then(|&i| dag.as_lit(i)) {
+                if let Ok(Some(meta)) = sysds_io::Metadata::load(path) {
+                    return SizeInfo::matrix(meta.rows, meta.cols, Some(meta.sparsity()));
+                }
+            }
+            SizeInfo::unknown()
+        }
+        "cbind" => {
+            let (l, r) = (input(0), input(1));
+            let cols = match (l.cols.value(), r.cols.value()) {
+                (Some(a), Some(b)) => Dim::Known(a + b),
+                _ => Dim::Unknown,
+            };
+            SizeInfo {
+                rows: l.rows,
+                cols,
+                sparsity: None,
+                scalar: false,
+            }
+        }
+        "rbind" => {
+            let (l, r) = (input(0), input(1));
+            let rows = match (l.rows.value(), r.rows.value()) {
+                (Some(a), Some(b)) => Dim::Known(a + b),
+                _ => Dim::Unknown,
+            };
+            SizeInfo {
+                rows,
+                cols: l.cols,
+                sparsity: None,
+                scalar: false,
+            }
+        }
+        "solve" => {
+            let (a, b) = (input(0), input(1));
+            SizeInfo {
+                rows: a.cols,
+                cols: b.cols,
+                sparsity: Some(1.0),
+                scalar: false,
+            }
+        }
+        "inv" | "cholesky" => input(0),
+        "diag" => {
+            let s = input(0);
+            match s.cols.value() {
+                Some(1) => match s.rows.value() {
+                    Some(n) => {
+                        SizeInfo::matrix(n, n, s.rows.value().map(|n| 1.0 / n.max(1) as f64))
+                    }
+                    None => SizeInfo::unknown(),
+                },
+                Some(_) => SizeInfo {
+                    rows: s.rows,
+                    cols: Dim::Known(1),
+                    sparsity: Some(1.0),
+                    scalar: false,
+                },
+                None => SizeInfo::unknown(),
+            }
+        }
+        "nrow" | "ncol" | "length" | "det" | "trace" | "as.scalar" | "as.integer" | "as.double"
+        | "as.logical" | "nnz" => SizeInfo::scalar(),
+        "toString" => SizeInfo::scalar(),
+        "print" | "write" | "stop" => SizeInfo::scalar(),
+        "rowIndexMax" => {
+            let s = input(0);
+            SizeInfo {
+                rows: s.rows,
+                cols: Dim::Known(1),
+                sparsity: Some(1.0),
+                scalar: false,
+            }
+        }
+        "cumsum" | "cumprod" | "rev" | "replace" => input(0),
+        "order" => input(0),
+        "removeEmpty" => SizeInfo::unknown(), // data-dependent output size
+        "ifelse" => input(1),
+        "as.matrix" => {
+            let s = input(0);
+            if s.scalar {
+                SizeInfo::matrix(1, 1, Some(1.0))
+            } else {
+                s
+            }
+        }
+        _ => SizeInfo::unknown(),
+    }
+}
+
+/// Operators the simulated distributed backend supports.
+fn dist_supported(op: &HopOp) -> bool {
+    matches!(
+        op,
+        HopOp::MatMul
+            | HopOp::Tsmm
+            | HopOp::Transpose
+            | HopOp::Binary(_)
+            | HopOp::Agg(_, Direction::Full)
+    )
+}
+
+fn select_exec(dag: &HopDag, id: HopId, config: &EngineConfig) -> ExecType {
+    let node = dag.node(id);
+    if !dist_supported(&node.op) {
+        return ExecType::Cp;
+    }
+    // CP if the operation's footprint (inputs + output) fits in the budget;
+    // unknown sizes stay CP until recompilation learns them (optimistic,
+    // like SystemML's default with recompilation enabled).
+    let mut footprint = node.size.memory_estimate();
+    if footprint == usize::MAX {
+        return ExecType::Cp;
+    }
+    for &i in &node.inputs {
+        let m = dag.node(i).size.memory_estimate();
+        if m == usize::MAX {
+            return ExecType::Cp;
+        }
+        footprint = footprint.saturating_add(m);
+    }
+    if footprint > config.memory_budget {
+        ExecType::Dist
+    } else {
+        ExecType::Cp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysds_tensor::kernels::BinaryOp;
+
+    fn env_with(name: &str, rows: usize, cols: usize) -> SizeEnv {
+        let mut env = SizeEnv::default();
+        env.insert(name.to_string(), SizeInfo::matrix(rows, cols, Some(1.0)));
+        env
+    }
+
+    #[test]
+    fn matmul_size_rule() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let y = dag.add(HopOp::Var("Y".into()), vec![]);
+        let mm = dag.add(HopOp::MatMul, vec![x, y]);
+        let mut env = env_with("X", 10, 5);
+        env.insert("Y".into(), SizeInfo::matrix(5, 3, Some(1.0)));
+        let unknown = propagate(&mut dag, &env, &EngineConfig::default(), &[mm]);
+        assert!(!unknown);
+        assert_eq!(dag.node(mm).size.rows, Dim::Known(10));
+        assert_eq!(dag.node(mm).size.cols, Dim::Known(3));
+    }
+
+    #[test]
+    fn tsmm_and_tmv_sizes() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let g = dag.add(HopOp::Tsmm, vec![x]);
+        let v = dag.add(HopOp::Tmv, vec![x, x]);
+        propagate(
+            &mut dag,
+            &env_with("X", 100, 7),
+            &EngineConfig::default(),
+            &[g, v],
+        );
+        assert_eq!(dag.node(g).size.rows, Dim::Known(7));
+        assert_eq!(dag.node(g).size.cols, Dim::Known(7));
+        assert_eq!(dag.node(v).size.rows, Dim::Known(7));
+        assert_eq!(dag.node(v).size.cols, Dim::Known(1));
+    }
+
+    #[test]
+    fn unknown_inputs_flag_recompile() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let t = dag.add(HopOp::Transpose, vec![x]);
+        let unknown = propagate(
+            &mut dag,
+            &SizeEnv::default(),
+            &EngineConfig::default(),
+            &[t],
+        );
+        assert!(unknown);
+        assert_eq!(dag.node(t).size.rows, Dim::Unknown);
+    }
+
+    #[test]
+    fn rand_literal_dims_known() {
+        let mut dag = HopDag::new();
+        let r = dag.lit(ScalarValue::I64(100));
+        let c = dag.lit(ScalarValue::I64(10));
+        let mn = dag.lit(ScalarValue::F64(0.0));
+        let mx = dag.lit(ScalarValue::F64(1.0));
+        let sp = dag.lit(ScalarValue::F64(0.1));
+        let seed = dag.lit(ScalarValue::I64(7));
+        let rand = dag.add(HopOp::Nary("rand"), vec![r, c, mn, mx, sp, seed]);
+        let unknown = propagate(
+            &mut dag,
+            &SizeEnv::default(),
+            &EngineConfig::default(),
+            &[rand],
+        );
+        assert!(!unknown);
+        let s = dag.node(rand).size;
+        assert_eq!(s.rows, Dim::Known(100));
+        assert_eq!(s.sparsity, Some(0.1));
+    }
+
+    #[test]
+    fn scalar_binary_stays_scalar() {
+        let mut dag = HopDag::new();
+        let a = dag.lit(ScalarValue::F64(1.0));
+        let b = dag.lit(ScalarValue::F64(2.0));
+        let s = dag.add(HopOp::Binary(BinaryOp::Add), vec![a, b]);
+        propagate(
+            &mut dag,
+            &SizeEnv::default(),
+            &EngineConfig::default(),
+            &[s],
+        );
+        assert!(dag.node(s).size.scalar);
+    }
+
+    #[test]
+    fn exec_selection_against_budget() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let g = dag.add(HopOp::Tsmm, vec![x]);
+        // Tiny budget forces distributed execution.
+        let config = EngineConfig::default().budget(1024);
+        propagate(&mut dag, &env_with("X", 1000, 50), &config, &[g]);
+        assert_eq!(dag.node(g).exec, ExecType::Dist);
+        // Large budget keeps it local.
+        let config = EngineConfig::default().budget(1 << 30);
+        propagate(&mut dag, &env_with("X", 1000, 50), &config, &[g]);
+        assert_eq!(dag.node(g).exec, ExecType::Cp);
+    }
+
+    #[test]
+    fn unsupported_ops_never_distributed() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let inv = dag.add(HopOp::Nary("inv"), vec![x]);
+        let config = EngineConfig::default().budget(1);
+        propagate(&mut dag, &env_with("X", 1000, 1000), &config, &[inv]);
+        assert_eq!(dag.node(inv).exec, ExecType::Cp);
+    }
+
+    #[test]
+    fn cbind_adds_columns() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let y = dag.add(HopOp::Var("Y".into()), vec![]);
+        let cb = dag.add(HopOp::Nary("cbind"), vec![x, y]);
+        let mut env = env_with("X", 10, 5);
+        env.insert("Y".into(), SizeInfo::matrix(10, 2, Some(1.0)));
+        propagate(&mut dag, &env, &EngineConfig::default(), &[cb]);
+        assert_eq!(dag.node(cb).size.cols, Dim::Known(7));
+    }
+
+    #[test]
+    fn indexing_with_literal_bounds() {
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let l1 = dag.lit(ScalarValue::I64(2));
+        let l2 = dag.lit(ScalarValue::I64(4));
+        let c1 = dag.lit(ScalarValue::I64(1));
+        let c2 = dag.lit(ScalarValue::I64(1));
+        let ix = dag.add(HopOp::Index, vec![x, l1, l2, c1, c2]);
+        propagate(
+            &mut dag,
+            &env_with("X", 10, 5),
+            &EngineConfig::default(),
+            &[ix],
+        );
+        assert_eq!(dag.node(ix).size.rows, Dim::Known(3));
+        assert_eq!(dag.node(ix).size.cols, Dim::Known(1));
+    }
+}

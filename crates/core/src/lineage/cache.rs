@@ -1,0 +1,396 @@
+//! The lineage-keyed reuse cache with full and partial reuse (paper §3.1).
+//!
+//! "We establish a cache, where intermediates are identified by their
+//! lineage (hash over the lineage DAG). Before executing an instruction,
+//! we update the output lineage and probe the cache for full or partial
+//! reuse. Partial reuse computes an output via a compensation plan over
+//! cached intermediates."
+//!
+//! The implemented compensation plans cover the `steplm` pattern of
+//! Example 1, where a feature column is cbind-appended between what-if
+//! model trainings:
+//!
+//! * `tsmm(cbind(A, b))` = `[[tsmm(A), t(A)b], [t(b)A, t(b)b]]`
+//! * `tmv(cbind(A, b), y)` = `rbind(tmv(A, y), t(b)y)`
+
+use super::item::LineageItem;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use sysds_common::config::ReusePolicy;
+use sysds_common::hash::FxHashMap;
+use sysds_common::Result;
+use sysds_tensor::kernels::{indexing, matmult, reorg, tsmm as tsmm_k};
+use sysds_tensor::Matrix;
+
+/// Cache statistics exposed for experiments (Fig. 5(c)/(d)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub partial_hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    value: Arc<Matrix>,
+    bytes: usize,
+    last_access: u64,
+    /// Time the original computation took (cost-aware eviction keeps
+    /// expensive entries longer).
+    compute_nanos: u128,
+}
+
+/// The lineage reuse cache.
+#[derive(Debug)]
+pub struct LineageCache {
+    policy: ReusePolicy,
+    limit: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: FxHashMap<u64, CacheEntry>,
+    bytes: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// Minimum compute time for an intermediate to be admitted; cheap ops are
+/// faster to recompute than to cache (SystemML's cost-based admission).
+const MIN_COMPUTE_NANOS: u128 = 50_000; // 50µs
+
+impl LineageCache {
+    /// Create a cache with the given policy and byte limit.
+    pub fn new(policy: ReusePolicy, limit: usize) -> LineageCache {
+        LineageCache {
+            policy,
+            limit,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Bytes currently cached.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Probe for a full match of `lineage`.
+    pub fn probe(&self, lineage: &Arc<LineageItem>) -> Option<Arc<Matrix>> {
+        if self.policy == ReusePolicy::None {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(&lineage.hash) {
+            Some(e) => {
+                e.last_access = clock;
+                let v = e.value.clone();
+                inner.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Probe for partial reuse of `tsmm(cbind(A, b))` given the
+    /// materialized `cbind` result `xi`. On a hit, assembles the output
+    /// from the cached `tsmm(A)` plus the compensation products.
+    pub fn probe_partial_tsmm(
+        &self,
+        lineage: &Arc<LineageItem>,
+        xi: &Matrix,
+        threads: usize,
+        blas: bool,
+    ) -> Result<Option<Arc<Matrix>>> {
+        if self.policy != ReusePolicy::FullAndPartial {
+            return Ok(None);
+        }
+        // Pattern: tsmm over a cbind lineage.
+        let input = match lineage.inputs.as_slice() {
+            [one] if one.opcode == "cbind" => one,
+            _ => return Ok(None),
+        };
+        let base_lineage = LineageItem::node("tsmm", vec![input.inputs[0].clone()]);
+        let Some(gram_a) = self.lookup(base_lineage.hash) else {
+            return Ok(None);
+        };
+        let k = gram_a.rows();
+        let m = xi.cols();
+        if k >= m || xi.rows() == 0 {
+            return Ok(None);
+        }
+        // Compensation plan: corner blocks from the appended columns.
+        let a = indexing::slice(xi, 0..xi.rows(), 0..k)?;
+        let b = indexing::slice(xi, 0..xi.rows(), k..m)?;
+        let cross = matmult::matmul(&reorg::transpose(&a, threads), &b, threads, blas)?; // k x (m-k)
+        let corner = tsmm_k::tsmm(&b, threads, blas); // (m-k) x (m-k)
+        let top = indexing::cbind(&gram_a, &cross)?;
+        let bottom = indexing::cbind(&reorg::transpose(&cross, threads), &corner)?;
+        let full = indexing::rbind(&top, &bottom)?;
+        self.inner.lock().stats.partial_hits += 1;
+        Ok(Some(Arc::new(full)))
+    }
+
+    /// Probe for partial reuse of `tmv(cbind(A, b), y)`.
+    pub fn probe_partial_tmv(
+        &self,
+        lineage: &Arc<LineageItem>,
+        xi: &Matrix,
+        y: &Matrix,
+        threads: usize,
+    ) -> Result<Option<Arc<Matrix>>> {
+        if self.policy != ReusePolicy::FullAndPartial {
+            return Ok(None);
+        }
+        let (x_lin, y_lin) = match lineage.inputs.as_slice() {
+            [x, y] if x.opcode == "cbind" => (x, y),
+            _ => return Ok(None),
+        };
+        let base = LineageItem::node("tmv", vec![x_lin.inputs[0].clone(), y_lin.clone()]);
+        let Some(tmv_a) = self.lookup(base.hash) else {
+            return Ok(None);
+        };
+        let k = tmv_a.rows();
+        let m = xi.cols();
+        if k >= m || xi.rows() == 0 {
+            return Ok(None);
+        }
+        let b = indexing::slice(xi, 0..xi.rows(), k..m)?;
+        let tail = tsmm_k::tmv(&b, y, threads)?;
+        let full = indexing::rbind(&tmv_a, &tail)?;
+        self.inner.lock().stats.partial_hits += 1;
+        Ok(Some(Arc::new(full)))
+    }
+
+    fn lookup(&self, hash: u64) -> Option<Arc<Matrix>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.get_mut(&hash).map(|e| {
+            e.last_access = clock;
+            e.value.clone()
+        })
+    }
+
+    /// Offer a computed intermediate for caching. Admission is cost-based:
+    /// only values whose computation took at least 50µs are kept.
+    pub fn put(&self, lineage: &Arc<LineageItem>, value: Arc<Matrix>, compute_nanos: u128) {
+        if self.policy == ReusePolicy::None || compute_nanos < MIN_COMPUTE_NANOS {
+            return;
+        }
+        let bytes = value.in_memory_size();
+        if bytes > self.limit / 2 {
+            return; // single entry would dominate the cache
+        }
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&lineage.hash) {
+            return;
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.bytes += bytes;
+        inner.map.insert(
+            lineage.hash,
+            CacheEntry {
+                value,
+                bytes,
+                last_access: clock,
+                compute_nanos,
+            },
+        );
+        // Evict by (cheap-to-recompute, least-recently-used) order.
+        while inner.bytes > self.limit {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.compute_nanos, e.last_access))
+                .map(|(&h, _)| h);
+            match victim {
+                Some(h) => {
+                    if let Some(e) = inner.map.remove(&h) {
+                        inner.bytes -= e.bytes;
+                        inner.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Drop all entries (e.g. between experiments).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysds_tensor::kernels::gen;
+
+    const BIG: u128 = 1_000_000; // 1ms, above the admission threshold
+
+    fn cache() -> LineageCache {
+        LineageCache::new(ReusePolicy::FullAndPartial, 1 << 20)
+    }
+
+    #[test]
+    fn full_reuse_round_trip() {
+        let c = cache();
+        let lin = LineageItem::node("tsmm", vec![LineageItem::leaf("input:X")]);
+        assert!(c.probe(&lin).is_none());
+        let m = Arc::new(gen::rand_uniform(5, 5, 0.0, 1.0, 1.0, 301));
+        c.put(&lin, m.clone(), BIG);
+        let hit = c.probe(&lin).unwrap();
+        assert!(hit.approx_eq(&m, 0.0));
+        let stats = c.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn disabled_policy_never_caches() {
+        let c = LineageCache::new(ReusePolicy::None, 1 << 20);
+        let lin = LineageItem::leaf("x");
+        c.put(&lin, Arc::new(Matrix::zeros(2, 2)), BIG);
+        assert!(c.probe(&lin).is_none());
+    }
+
+    #[test]
+    fn cheap_computations_not_admitted() {
+        let c = cache();
+        let lin = LineageItem::leaf("cheap");
+        c.put(&lin, Arc::new(Matrix::zeros(2, 2)), 10); // 10ns
+        assert!(c.probe(&lin).is_none());
+    }
+
+    #[test]
+    fn eviction_respects_limit() {
+        let c = LineageCache::new(ReusePolicy::Full, 20_000);
+        for k in 0..10 {
+            let lin = LineageItem::leaf(format!("m{k}"));
+            c.put(
+                &lin,
+                Arc::new(gen::rand_uniform(20, 20, 0.0, 1.0, 1.0, k as u64)),
+                BIG,
+            );
+        }
+        assert!(c.bytes() <= 20_000);
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn partial_tsmm_compensation_is_exact() {
+        let c = cache();
+        let n = 40;
+        let xg = gen::rand_uniform(n, 6, -1.0, 1.0, 1.0, 302);
+        let xi_col = gen::rand_uniform(n, 1, -1.0, 1.0, 1.0, 303);
+        let xi = indexing::cbind(&xg, &xi_col).unwrap();
+
+        // Cache tsmm(Xg) under its lineage.
+        let lin_xg = LineageItem::leaf("obj:Xg");
+        let lin_col = LineageItem::leaf("obj:col");
+        let lin_tsmm_xg = LineageItem::node("tsmm", vec![lin_xg.clone()]);
+        c.put(&lin_tsmm_xg, Arc::new(tsmm_k::tsmm(&xg, 1, false)), BIG);
+
+        // Probe tsmm(cbind(Xg, col)).
+        let lin_cbind = LineageItem::node("cbind", vec![lin_xg, lin_col]);
+        let lin_tsmm_xi = LineageItem::node("tsmm", vec![lin_cbind]);
+        let got = c
+            .probe_partial_tsmm(&lin_tsmm_xi, &xi, 1, false)
+            .unwrap()
+            .unwrap();
+        let expect = tsmm_k::tsmm(&xi, 1, false);
+        assert!(got.approx_eq(&expect, 1e-9));
+        assert_eq!(c.stats().partial_hits, 1);
+    }
+
+    #[test]
+    fn partial_tsmm_misses_without_base_entry() {
+        let c = cache();
+        let lin_cbind = LineageItem::node(
+            "cbind",
+            vec![LineageItem::leaf("obj:A"), LineageItem::leaf("obj:b")],
+        );
+        let lin = LineageItem::node("tsmm", vec![lin_cbind]);
+        let xi = gen::rand_uniform(10, 3, 0.0, 1.0, 1.0, 304);
+        assert!(c.probe_partial_tsmm(&lin, &xi, 1, false).unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_tmv_compensation_is_exact() {
+        let c = cache();
+        let n = 30;
+        let xg = gen::rand_uniform(n, 4, -1.0, 1.0, 1.0, 305);
+        let col = gen::rand_uniform(n, 1, -1.0, 1.0, 1.0, 306);
+        let y = gen::rand_uniform(n, 1, -1.0, 1.0, 1.0, 307);
+        let xi = indexing::cbind(&xg, &col).unwrap();
+
+        let lin_xg = LineageItem::leaf("obj:Xg");
+        let lin_col = LineageItem::leaf("obj:col");
+        let lin_y = LineageItem::leaf("obj:y");
+        let base = LineageItem::node("tmv", vec![lin_xg.clone(), lin_y.clone()]);
+        c.put(&base, Arc::new(tsmm_k::tmv(&xg, &y, 1).unwrap()), BIG);
+
+        let lin_cbind = LineageItem::node("cbind", vec![lin_xg, lin_col]);
+        let probe_lin = LineageItem::node("tmv", vec![lin_cbind, lin_y]);
+        let got = c
+            .probe_partial_tmv(&probe_lin, &xi, &y, 1)
+            .unwrap()
+            .unwrap();
+        let expect = tsmm_k::tmv(&xi, &y, 1).unwrap();
+        assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn partial_reuse_disabled_under_full_policy() {
+        let c = LineageCache::new(ReusePolicy::Full, 1 << 20);
+        let lin_cbind = LineageItem::node(
+            "cbind",
+            vec![LineageItem::leaf("obj:A"), LineageItem::leaf("obj:b")],
+        );
+        let lin = LineageItem::node("tsmm", vec![lin_cbind]);
+        let xi = gen::rand_uniform(10, 3, 0.0, 1.0, 1.0, 308);
+        assert!(c.probe_partial_tsmm(&lin, &xi, 1, false).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_entries_rejected() {
+        let c = LineageCache::new(ReusePolicy::Full, 1000);
+        let lin = LineageItem::leaf("big");
+        c.put(
+            &lin,
+            Arc::new(gen::rand_uniform(50, 50, 0.0, 1.0, 1.0, 309)),
+            BIG,
+        );
+        assert!(c.probe(&lin).is_none());
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let c = cache();
+        let lin = LineageItem::leaf("x");
+        c.put(
+            &lin,
+            Arc::new(gen::rand_uniform(5, 5, 0.0, 1.0, 1.0, 310)),
+            BIG,
+        );
+        assert!(c.probe(&lin).is_some());
+        c.clear();
+        assert!(c.probe(&lin).is_none());
+        assert_eq!(c.bytes(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Loop deduplication of lineage traces (paper §3.1).
+//!
+//! "For loops with few distinct control flow paths, we determine the
+//! lineage trace per path once, and track the taken path via a single
+//! lineage node for deduplication."
+//!
+//! A [`DedupRegistry`] stores, per `(loop id, path id)`, the *template* of
+//! the per-iteration lineage — a mini-DAG whose leaves are placeholders
+//! for the iteration's entry lineages. Subsequent iterations on the same
+//! path record only a single `dedup` node referencing the entry lineages;
+//! [`DedupRegistry::expand`] reconstructs the full trace on demand (for
+//! debugging queries or cache key derivation).
+
+use super::item::LineageItem;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use sysds_common::hash::FxHashMap;
+
+/// Placeholder opcode prefix used inside templates.
+const PLACEHOLDER: &str = "ph:";
+
+/// Registry of per-path lineage templates.
+#[derive(Debug, Default)]
+pub struct DedupRegistry {
+    templates: Mutex<FxHashMap<(u64, u64), Arc<LineageItem>>>,
+}
+
+impl DedupRegistry {
+    /// Empty registry.
+    pub fn new() -> DedupRegistry {
+        DedupRegistry::default()
+    }
+
+    /// Number of stored templates.
+    pub fn len(&self) -> usize {
+        self.templates.lock().len()
+    }
+
+    /// Whether no templates are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Build a template from a concrete per-iteration lineage by replacing
+    /// the `entries` (the live-in lineages at iteration start) with
+    /// placeholders. Registers it under `(loop_id, path_id)` on first call.
+    pub fn register(
+        &self,
+        loop_id: u64,
+        path_id: u64,
+        concrete: &Arc<LineageItem>,
+        entries: &[Arc<LineageItem>],
+    ) {
+        let mut templates = self.templates.lock();
+        templates
+            .entry((loop_id, path_id))
+            .or_insert_with(|| templatize(concrete, entries));
+    }
+
+    /// Whether a template exists for the path.
+    pub fn has(&self, loop_id: u64, path_id: u64) -> bool {
+        self.templates.lock().contains_key(&(loop_id, path_id))
+    }
+
+    /// Create the deduplicated single-node lineage for one iteration:
+    /// `dedup:<loop>:<path>(entry lineages...)`.
+    pub fn dedup_node(
+        &self,
+        loop_id: u64,
+        path_id: u64,
+        entries: Vec<Arc<LineageItem>>,
+    ) -> Arc<LineageItem> {
+        LineageItem::node(format!("dedup:{loop_id}:{path_id}"), entries)
+    }
+
+    /// Expand a `dedup` node back into the full per-iteration lineage by
+    /// substituting its inputs into the stored template. Returns `None`
+    /// for non-dedup nodes or unknown paths.
+    pub fn expand(&self, node: &Arc<LineageItem>) -> Option<Arc<LineageItem>> {
+        let rest = node.opcode.strip_prefix("dedup:")?;
+        let (l, p) = rest.split_once(':')?;
+        let key = (l.parse().ok()?, p.parse().ok()?);
+        let template = self.templates.lock().get(&key)?.clone();
+        Some(substitute(&template, &node.inputs))
+    }
+}
+
+/// Replace each occurrence of an entry lineage with `ph:<index>`.
+fn templatize(item: &Arc<LineageItem>, entries: &[Arc<LineageItem>]) -> Arc<LineageItem> {
+    if let Some(idx) = entries
+        .iter()
+        .position(|e| Arc::ptr_eq(e, item) || e.hash == item.hash)
+    {
+        return LineageItem::leaf(format!("{PLACEHOLDER}{idx}"));
+    }
+    if item.inputs.is_empty() {
+        return item.clone();
+    }
+    let inputs = item.inputs.iter().map(|i| templatize(i, entries)).collect();
+    LineageItem::node(item.opcode.clone(), inputs)
+}
+
+/// Substitute placeholders with the given entry lineages.
+fn substitute(template: &Arc<LineageItem>, entries: &[Arc<LineageItem>]) -> Arc<LineageItem> {
+    if let Some(rest) = template.opcode.strip_prefix(PLACEHOLDER) {
+        if let Ok(idx) = rest.parse::<usize>() {
+            if let Some(e) = entries.get(idx) {
+                return e.clone();
+            }
+        }
+    }
+    if template.inputs.is_empty() {
+        return template.clone();
+    }
+    let inputs = template
+        .inputs
+        .iter()
+        .map(|i| substitute(i, entries))
+        .collect();
+    LineageItem::node(template.opcode.clone(), inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate one loop iteration's lineage: out = exp(X_entry * 2) + X_entry.
+    fn iteration_lineage(entry: &Arc<LineageItem>) -> Arc<LineageItem> {
+        let two = LineageItem::leaf("lit:2");
+        let scaled = LineageItem::node("*", vec![entry.clone(), two]);
+        let e = LineageItem::node("exp", vec![scaled]);
+        LineageItem::node("+", vec![e, entry.clone()])
+    }
+
+    #[test]
+    fn register_and_expand_round_trip() {
+        let reg = DedupRegistry::new();
+        let entry0 = LineageItem::leaf("input:X");
+        let concrete = iteration_lineage(&entry0);
+        reg.register(1, 0, &concrete, std::slice::from_ref(&entry0));
+        assert!(reg.has(1, 0));
+
+        // Second iteration: entry is the previous iteration's output.
+        let entry1 = concrete.clone();
+        let node = reg.dedup_node(1, 0, vec![entry1.clone()]);
+        let expanded = reg.expand(&node).unwrap();
+        let expected = iteration_lineage(&entry1);
+        assert_eq!(expanded.hash, expected.hash);
+    }
+
+    #[test]
+    fn dedup_nodes_shrink_trace_size() {
+        let reg = DedupRegistry::new();
+        let entry = LineageItem::leaf("input:X");
+        let mut full = entry.clone();
+        let mut deduped = entry.clone();
+        // First iteration registers the template.
+        let first = iteration_lineage(&full);
+        reg.register(7, 0, &first, std::slice::from_ref(&full));
+        full = first;
+        deduped = reg.dedup_node(7, 0, vec![deduped]);
+        // 50 more iterations.
+        for _ in 0..50 {
+            full = iteration_lineage(&full);
+            deduped = reg.dedup_node(7, 0, vec![deduped]);
+        }
+        assert!(
+            deduped.dag_size() * 2 < full.dag_size(),
+            "dedup {} vs full {}",
+            deduped.dag_size(),
+            full.dag_size()
+        );
+    }
+
+    #[test]
+    fn distinct_paths_get_distinct_templates() {
+        let reg = DedupRegistry::new();
+        let entry = LineageItem::leaf("input:X");
+        let path0 = iteration_lineage(&entry);
+        let path1 = LineageItem::node("sqrt", vec![entry.clone()]);
+        reg.register(3, 0, &path0, std::slice::from_ref(&entry));
+        reg.register(3, 1, &path1, std::slice::from_ref(&entry));
+        assert_eq!(reg.len(), 2);
+        let n0 = reg.dedup_node(3, 0, vec![entry.clone()]);
+        let n1 = reg.dedup_node(3, 1, vec![entry.clone()]);
+        assert_ne!(n0.hash, n1.hash);
+        assert_ne!(reg.expand(&n0).unwrap().hash, reg.expand(&n1).unwrap().hash);
+    }
+
+    #[test]
+    fn expand_rejects_unknown() {
+        let reg = DedupRegistry::new();
+        let plain = LineageItem::leaf("input:X");
+        assert!(reg.expand(&plain).is_none());
+        let unknown = reg.dedup_node(9, 9, vec![plain]);
+        assert!(reg.expand(&unknown).is_none());
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let reg = DedupRegistry::new();
+        let entry = LineageItem::leaf("input:X");
+        let lin = iteration_lineage(&entry);
+        reg.register(1, 0, &lin, std::slice::from_ref(&entry));
+        reg.register(1, 0, &lin, std::slice::from_ref(&entry));
+        assert_eq!(reg.len(), 1);
+    }
+}

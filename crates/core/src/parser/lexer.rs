@@ -1,0 +1,446 @@
+//! Tokenizer for DML.
+
+use sysds_common::{Result, SysDsError};
+
+/// A lexical token with its source position (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// Token kinds of the DML language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Number(f64),
+    Int(i64),
+    Str(String),
+    True,
+    False,
+    If,
+    Else,
+    For,
+    While,
+    Parfor,
+    Function,
+    Return,
+    In,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Assign, // = or <-
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    Percent, // standalone % is invalid; kept for error messages
+    MatMul,  // %*%
+    Mod,     // %%
+    IntDiv,  // %/%
+    Colon,
+    Eq,  // ==
+    Neq, // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Not, // !
+    And, // &
+    Or,  // |
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Number(v) => format!("number {v}"),
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Eof => "end of input".into(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Tokenize DML source. `#` starts a line comment. The scanner is
+/// char-based, so multi-byte UTF-8 (in string literals or as stray input)
+/// never causes mid-character slicing.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    // (byte offset, char) pairs; byte offsets are always char boundaries.
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let n = chars.len();
+    let mut i = 0usize; // index into `chars`
+    let mut line = 1usize;
+    let mut col = 1usize;
+    // Lookahead on the raw source from the current char boundary.
+    let rest = |i: usize| -> &str {
+        if i < n {
+            &src[chars[i].0..]
+        } else {
+            ""
+        }
+    };
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+    while i < n {
+        let c = chars[i].1;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '#' => {
+                while i < n && chars[i].1 != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            '[' => push!(TokenKind::LBracket, 1),
+            ']' => push!(TokenKind::RBracket, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            ';' => push!(TokenKind::Semicolon, 1),
+            '+' => push!(TokenKind::Plus, 1),
+            '-' => push!(TokenKind::Minus, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '/' => push!(TokenKind::Slash, 1),
+            '^' => push!(TokenKind::Caret, 1),
+            ':' => push!(TokenKind::Colon, 1),
+            '&' => push!(TokenKind::And, 1),
+            '|' => push!(TokenKind::Or, 1),
+            '%' => {
+                if rest(i).starts_with("%*%") {
+                    push!(TokenKind::MatMul, 3);
+                } else if rest(i).starts_with("%/%") {
+                    push!(TokenKind::IntDiv, 3);
+                } else if rest(i).starts_with("%%") {
+                    push!(TokenKind::Mod, 2);
+                } else {
+                    return Err(SysDsError::Parse {
+                        line,
+                        col,
+                        msg: "stray '%' (expected %*%, %%, or %/%)".into(),
+                    });
+                }
+            }
+            '=' => {
+                if rest(i).starts_with("==") {
+                    push!(TokenKind::Eq, 2);
+                } else {
+                    push!(TokenKind::Assign, 1);
+                }
+            }
+            '!' => {
+                if rest(i).starts_with("!=") {
+                    push!(TokenKind::Neq, 2);
+                } else {
+                    push!(TokenKind::Not, 1);
+                }
+            }
+            '<' => {
+                if rest(i).starts_with("<=") {
+                    push!(TokenKind::Le, 2);
+                } else if rest(i).starts_with("<-") {
+                    push!(TokenKind::Assign, 2);
+                } else {
+                    push!(TokenKind::Lt, 1);
+                }
+            }
+            '>' => {
+                if rest(i).starts_with(">=") {
+                    push!(TokenKind::Ge, 2);
+                } else {
+                    push!(TokenKind::Gt, 1);
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    if j >= n || chars[j].1 == '\n' {
+                        return Err(SysDsError::Parse {
+                            line,
+                            col,
+                            msg: "unterminated string literal".into(),
+                        });
+                    }
+                    let cj = chars[j].1;
+                    if cj == quote {
+                        break;
+                    }
+                    if cj == '\\' && j + 1 < n {
+                        let esc = chars[j + 1].1;
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            '\\' => '\\',
+                            '"' => '"',
+                            '\'' => '\'',
+                            other => other,
+                        });
+                        j += 2;
+                    } else {
+                        s.push(cj);
+                        j += 1;
+                    }
+                }
+                let len = j + 1 - i;
+                push!(TokenKind::Str(s), len);
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut j = i;
+                let mut has_dot = false;
+                let mut has_exp = false;
+                while j < n {
+                    match chars[j].1 {
+                        '0'..='9' => j += 1,
+                        '.' if !has_dot && !has_exp => {
+                            has_dot = true;
+                            j += 1;
+                        }
+                        'e' | 'E' if !has_exp && j > start => {
+                            has_exp = true;
+                            j += 1;
+                            if j < n && (chars[j].1 == '+' || chars[j].1 == '-') {
+                                j += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text: String = chars[start..j].iter().map(|&(_, c)| c).collect();
+                if text == "." {
+                    return Err(SysDsError::Parse {
+                        line,
+                        col,
+                        msg: "stray '.'".into(),
+                    });
+                }
+                let kind = if has_dot || has_exp {
+                    TokenKind::Number(text.parse().map_err(|_| SysDsError::Parse {
+                        line,
+                        col,
+                        msg: format!("bad number literal '{text}'"),
+                    })?)
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => TokenKind::Int(v),
+                        Err(_) => {
+                            TokenKind::Number(text.parse().map_err(|_| SysDsError::Parse {
+                                line,
+                                col,
+                                msg: format!("bad number literal '{text}'"),
+                            })?)
+                        }
+                    }
+                };
+                let len = j - start;
+                push!(kind, len);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                // identifiers may contain '.', e.g. as.scalar
+                while j < n {
+                    let d = chars[j].1;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[start..j].iter().map(|&(_, c)| c).collect();
+                let kind = match text.as_str() {
+                    "TRUE" => TokenKind::True,
+                    "FALSE" => TokenKind::False,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "for" => TokenKind::For,
+                    "while" => TokenKind::While,
+                    "parfor" => TokenKind::Parfor,
+                    "function" => TokenKind::Function,
+                    "return" => TokenKind::Return,
+                    "in" => TokenKind::In,
+                    _ => TokenKind::Ident(text),
+                };
+                let len = j - start;
+                push!(kind, len);
+            }
+            other => {
+                return Err(SysDsError::Parse {
+                    line,
+                    col,
+                    msg: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_expression() {
+        assert_eq!(
+            kinds("x = 1 + 2.5"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Plus,
+                TokenKind::Number(2.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_operators() {
+        assert_eq!(
+            kinds("A %*% B %% C %/% D"),
+            vec![
+                TokenKind::Ident("A".into()),
+                TokenKind::MatMul,
+                TokenKind::Ident("B".into()),
+                TokenKind::Mod,
+                TokenKind::Ident("C".into()),
+                TokenKind::IntDiv,
+                TokenKind::Ident("D".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("a % b").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("x # comment\ny"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#"s = "a\nb""#),
+            vec![
+                TokenKind::Ident("s".into()),
+                TokenKind::Assign,
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("\"two\nlines\"").is_err());
+    }
+
+    #[test]
+    fn keywords_and_dotted_idents() {
+        assert_eq!(
+            kinds("if else parfor as.scalar TRUE"),
+            vec![
+                TokenKind::If,
+                TokenKind::Else,
+                TokenKind::Parfor,
+                TokenKind::Ident("as.scalar".into()),
+                TokenKind::True,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_and_arrow_assign() {
+        assert_eq!(
+            kinds("a <- b <= c == d != e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::Le,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("d".into()),
+                TokenKind::Neq,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(kinds("1e-3")[0], TokenKind::Number(0.001));
+        assert_eq!(kinds("2.5E2")[0], TokenKind::Number(250.0));
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = tokenize("x\n  y").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unicode_in_strings_and_errors() {
+        // multi-byte characters inside string literals survive intact
+        let toks = tokenize("s = \"héllo → 世界\"").unwrap();
+        assert_eq!(toks[2].kind, TokenKind::Str("héllo → 世界".into()));
+        // multi-byte characters outside strings are clean errors, not panics
+        assert!(tokenize("x = é").is_err());
+        assert!(tokenize("ꟓ¥;Q7&").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_reported() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+}

@@ -1,0 +1,8 @@
+//! The DML language: lexer, AST, and recursive-descent parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parse;
+
+pub use ast::{Arg, BinOp, Expr, FunctionDef, Program, Stmt, UnOp};
+pub use parse::parse_program;

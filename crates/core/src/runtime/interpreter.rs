@@ -1,0 +1,548 @@
+//! The control program: program-block interpretation (paper §2.3 (3)).
+//!
+//! Executes the compiled block hierarchy — basic blocks through the
+//! instruction layer (with dynamic recompilation via plan caching),
+//! branches, `for`/`while` loops, `parfor` with SystemML-style result
+//! merge (compare-and-merge against the pre-loop value), and function
+//! calls with fresh local scopes.
+
+use crate::compiler::lower::{plan_for, Plan};
+use crate::compiler::{BasicBlock, Block, CompiledFunction, CompiledProgram};
+use crate::runtime::instructions::{execute, ExecCtx, Slot};
+use crate::runtime::value::{Data, SymbolTable};
+use std::sync::Arc;
+use sysds_common::{Result, ScalarValue, SysDsError};
+use sysds_frame::{TransformEncoder, TransformSpec};
+use sysds_tensor::Matrix;
+
+/// The block interpreter.
+pub struct Interpreter {
+    pub ctx: Arc<ExecCtx>,
+    pub program: Arc<CompiledProgram>,
+}
+
+impl Interpreter {
+    /// Create an interpreter over a compiled program.
+    pub fn new(ctx: Arc<ExecCtx>, program: Arc<CompiledProgram>) -> Interpreter {
+        Interpreter { ctx, program }
+    }
+
+    /// Execute the program's top-level blocks against a symbol table.
+    pub fn run(&self, symbols: &mut SymbolTable) -> Result<()> {
+        self.exec_blocks(&self.program.blocks, symbols)
+    }
+
+    fn exec_blocks(&self, blocks: &[Block], st: &mut SymbolTable) -> Result<()> {
+        for b in blocks {
+            self.exec_block(b, st)?;
+        }
+        Ok(())
+    }
+
+    fn exec_block(&self, block: &Block, st: &mut SymbolTable) -> Result<()> {
+        match block {
+            Block::Basic(bb) => self.exec_basic(bb, st),
+            Block::If {
+                cond,
+                then_blocks,
+                else_blocks,
+            } => {
+                let c = self.eval_expr_block(cond, st)?.data.as_bool()?;
+                if c {
+                    self.exec_blocks(then_blocks, st)
+                } else {
+                    self.exec_blocks(else_blocks, st)
+                }
+            }
+            Block::While { cond, body } => {
+                while self.eval_expr_block(cond, st)?.data.as_bool()? {
+                    self.exec_blocks(body, st)?;
+                }
+                Ok(())
+            }
+            Block::For {
+                var,
+                from,
+                to,
+                step,
+                body,
+                parallel,
+            } => {
+                let from = self.eval_expr_block(from, st)?.data.as_f64()?;
+                let to = self.eval_expr_block(to, st)?.data.as_f64()?;
+                let step = match step {
+                    Some(s) => self.eval_expr_block(s, st)?.data.as_f64()?,
+                    None => 1.0,
+                };
+                if step == 0.0 {
+                    return Err(SysDsError::runtime("loop step must be non-zero"));
+                }
+                let iters = iteration_values(from, to, step);
+                if *parallel {
+                    self.exec_parfor(var, &iters, body, st)
+                } else {
+                    for v in iters {
+                        st.set(var.clone(), iter_value(v), None);
+                        self.exec_blocks(body, st)?;
+                    }
+                    Ok(())
+                }
+            }
+            Block::Call {
+                targets,
+                function,
+                args,
+            } => self.exec_call(targets, function, args, st),
+        }
+    }
+
+    /// Execute one basic block: recompile-or-reuse the plan, run the
+    /// instructions, commit variable bindings.
+    fn exec_basic(&self, bb: &BasicBlock, st: &mut SymbolTable) -> Result<()> {
+        let plan = plan_for(bb, &st.size_env(), &self.ctx.config);
+        let slots = self.run_plan(&plan, st)?;
+        for b in &plan.bindings {
+            let slot = slots[b.slot].as_ref().expect("binding slot computed");
+            st.set(b.name.clone(), slot.data.clone(), slot.lineage.clone());
+        }
+        Ok(())
+    }
+
+    fn run_plan(&self, plan: &Plan, st: &SymbolTable) -> Result<Vec<Option<Slot>>> {
+        let mut slots: Vec<Option<Slot>> = vec![None; plan.nslots];
+        for instr in &plan.instrs {
+            execute(instr, &mut slots, st, &self.ctx)?;
+        }
+        Ok(slots)
+    }
+
+    /// Evaluate an expression block (condition, loop bound, call argument).
+    pub fn eval_expr_block(&self, bb: &BasicBlock, st: &SymbolTable) -> Result<Slot> {
+        let plan = plan_for(bb, &st.size_env(), &self.ctx.config);
+        let slots = self.run_plan(&plan, st)?;
+        let slot = plan
+            .result_slot
+            .ok_or_else(|| SysDsError::runtime("expression block without result"))?;
+        Ok(slots[slot].clone().expect("result computed"))
+    }
+
+    // ---- function calls -------------------------------------------------
+
+    fn exec_call(
+        &self,
+        targets: &[String],
+        function: &str,
+        args: &[(Option<String>, BasicBlock)],
+        st: &mut SymbolTable,
+    ) -> Result<()> {
+        // Multi-output runtime builtins.
+        if function == "transformencode" {
+            return self.exec_transformencode(targets, args, st);
+        }
+        if function == "transformapply" {
+            return self.exec_transformapply(targets, args, st);
+        }
+        if function == "paramserv" {
+            return self.exec_paramserv(targets, args, st);
+        }
+        if function == "eigen" {
+            let target = Self::named_arg(args, "target", 0)
+                .ok_or_else(|| SysDsError::runtime("eigen needs a matrix argument"))?;
+            let a = self.eval_expr_block(target, st)?.data.as_matrix()?;
+            let (w, v) = sysds_tensor::kernels::solve::eigen_symmetric(&a)?;
+            if let Some(t) = targets.first() {
+                st.set(t.clone(), self.ctx.wrap_matrix(w)?, None);
+            }
+            if let Some(t) = targets.get(1) {
+                st.set(t.clone(), self.ctx.wrap_matrix(v)?, None);
+            }
+            return Ok(());
+        }
+        let func = self
+            .program
+            .functions
+            .get(function)
+            .cloned()
+            .ok_or_else(|| SysDsError::runtime(format!("unknown function '{function}'")))?;
+        if targets.len() > func.outputs.len() {
+            return Err(SysDsError::runtime(format!(
+                "'{function}' returns {} values, {} requested",
+                func.outputs.len(),
+                targets.len()
+            )));
+        }
+        let mut local = SymbolTable::new();
+        self.bind_call_args(&func, args, st, &mut local)?;
+        self.exec_blocks(&func.blocks, &mut local)?;
+        for (t, o) in targets.iter().zip(&func.outputs) {
+            let entry = local.get(o).map_err(|_| {
+                SysDsError::runtime(format!("function '{function}' did not assign output '{o}'"))
+            })?;
+            st.set(t.clone(), entry.data.clone(), entry.lineage.clone());
+        }
+        Ok(())
+    }
+
+    fn bind_call_args(
+        &self,
+        func: &CompiledFunction,
+        args: &[(Option<String>, BasicBlock)],
+        caller: &SymbolTable,
+        local: &mut SymbolTable,
+    ) -> Result<()> {
+        let mut bound: Vec<Option<Slot>> = vec![None; func.params.len()];
+        let mut pos = 0usize;
+        for (name, block) in args {
+            let slot = self.eval_expr_block(block, caller)?;
+            match name {
+                Some(n) => {
+                    let idx = func
+                        .params
+                        .iter()
+                        .position(|p| &p.name == n)
+                        .ok_or_else(|| {
+                            SysDsError::runtime(format!(
+                                "unknown argument '{n}' for '{}'",
+                                func.name
+                            ))
+                        })?;
+                    bound[idx] = Some(slot);
+                }
+                None => {
+                    while pos < bound.len() && bound[pos].is_some() {
+                        pos += 1;
+                    }
+                    if pos >= bound.len() {
+                        return Err(SysDsError::runtime(format!(
+                            "too many arguments for '{}'",
+                            func.name
+                        )));
+                    }
+                    bound[pos] = Some(slot);
+                    pos += 1;
+                }
+            }
+        }
+        for (p, b) in func.params.iter().zip(bound) {
+            match (b, &p.default) {
+                (Some(slot), _) => local.set(p.name.clone(), slot.data, slot.lineage),
+                (None, Some(d)) => local.set(p.name.clone(), Data::Scalar(d.clone()), None),
+                (None, None) => {
+                    return Err(SysDsError::runtime(format!(
+                        "missing argument '{}' for '{}'",
+                        p.name, func.name
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- transformencode / transformapply -------------------------------
+
+    fn named_arg<'a>(
+        args: &'a [(Option<String>, BasicBlock)],
+        name: &str,
+        position: usize,
+    ) -> Option<&'a BasicBlock> {
+        args.iter()
+            .find(|(n, _)| n.as_deref() == Some(name))
+            .map(|(_, b)| b)
+            .or_else(|| {
+                args.get(position)
+                    .and_then(|(n, b)| if n.is_none() { Some(b) } else { None })
+            })
+    }
+
+    fn exec_transformencode(
+        &self,
+        targets: &[String],
+        args: &[(Option<String>, BasicBlock)],
+        st: &mut SymbolTable,
+    ) -> Result<()> {
+        let target = Self::named_arg(args, "target", 0)
+            .ok_or_else(|| SysDsError::runtime("transformencode needs target="))?;
+        let spec = Self::named_arg(args, "spec", 1)
+            .ok_or_else(|| SysDsError::runtime("transformencode needs spec="))?;
+        let frame = self.eval_expr_block(target, st)?.data.as_frame()?;
+        let spec_str = self
+            .eval_expr_block(spec, st)?
+            .data
+            .as_scalar()?
+            .to_display_string();
+        let spec = parse_transform_spec(&spec_str)?;
+        let enc = TransformEncoder::fit(&frame, &spec)?;
+        let x = enc.apply(&frame)?;
+        let meta = enc.to_metadata();
+        if let Some(t) = targets.first() {
+            st.set(t.clone(), self.ctx.wrap_matrix(x)?, None);
+        }
+        if let Some(t) = targets.get(1) {
+            st.set(t.clone(), Data::Frame(Arc::new(meta)), None);
+        }
+        Ok(())
+    }
+
+    fn exec_transformapply(
+        &self,
+        targets: &[String],
+        args: &[(Option<String>, BasicBlock)],
+        st: &mut SymbolTable,
+    ) -> Result<()> {
+        let target = Self::named_arg(args, "target", 0)
+            .ok_or_else(|| SysDsError::runtime("transformapply needs target="))?;
+        let meta = Self::named_arg(args, "meta", 1)
+            .ok_or_else(|| SysDsError::runtime("transformapply needs meta="))?;
+        let frame = self.eval_expr_block(target, st)?.data.as_frame()?;
+        let meta = self.eval_expr_block(meta, st)?.data.as_frame()?;
+        let enc = TransformEncoder::from_metadata(&meta)?;
+        let x = enc.apply(&frame)?;
+        if let Some(t) = targets.first() {
+            st.set(t.clone(), self.ctx.wrap_matrix(x)?, None);
+        }
+        Ok(())
+    }
+
+    /// The `paramserv` builtin (paper §2.3 (4)): mini-batch training with
+    /// a local parameter server. `w = paramserv(X=X, y=y, epochs=20,
+    /// batchsize=32, lr=0.1, mode="BSP", workers=4)`.
+    fn exec_paramserv(
+        &self,
+        targets: &[String],
+        args: &[(Option<String>, BasicBlock)],
+        st: &mut SymbolTable,
+    ) -> Result<()> {
+        use crate::runtime::paramserver::{train_linreg, PsConfig, UpdateMode};
+        let get = |name: &str, pos: usize| Self::named_arg(args, name, pos);
+        let x = self
+            .eval_expr_block(
+                get("X", 0).ok_or_else(|| SysDsError::runtime("paramserv needs X="))?,
+                st,
+            )?
+            .data
+            .as_matrix()?;
+        let y = self
+            .eval_expr_block(
+                get("y", 1).ok_or_else(|| SysDsError::runtime("paramserv needs y="))?,
+                st,
+            )?
+            .data
+            .as_matrix()?;
+        let scalar_arg = |name: &str, default: f64| -> Result<f64> {
+            match get(name, usize::MAX) {
+                Some(b) => self.eval_expr_block(b, st)?.data.as_f64(),
+                None => Ok(default),
+            }
+        };
+        let epochs = scalar_arg("epochs", 20.0)? as usize;
+        let batch = scalar_arg("batchsize", 32.0)? as usize;
+        let lr = scalar_arg("lr", 0.1)?;
+        let workers = scalar_arg("workers", self.ctx.config.num_threads as f64)? as usize;
+        let mode = match get("mode", usize::MAX) {
+            Some(b) => {
+                let m = self
+                    .eval_expr_block(b, st)?
+                    .data
+                    .as_scalar()?
+                    .to_display_string();
+                match m.as_str() {
+                    "BSP" | "bsp" => UpdateMode::Bsp,
+                    "ASP" | "asp" => UpdateMode::Asp,
+                    other => return Err(SysDsError::runtime(format!("paramserv mode '{other}'"))),
+                }
+            }
+            None => UpdateMode::Bsp,
+        };
+        let config = PsConfig {
+            workers,
+            epochs,
+            batch_size: batch,
+            learning_rate: lr,
+            mode,
+        };
+        let w = train_linreg(&x, &y, &config)?;
+        if let Some(t) = targets.first() {
+            st.set(t.clone(), self.ctx.wrap_matrix(w)?, None);
+        }
+        Ok(())
+    }
+
+    // ---- parfor ----------------------------------------------------------
+
+    /// Parallel for with result merge (paper §2.3: dedicated backends for
+    /// parallel for loops, e.g. hyper-parameter tuning). Workers get
+    /// deep-copied symbol tables; result variables (pre-existing variables
+    /// written by the loop) are merged by comparing against the pre-loop
+    /// value — SystemML's `ResultMergeLocalMemory` strategy.
+    fn exec_parfor(
+        &self,
+        var: &str,
+        iters: &[f64],
+        body: &[Block],
+        st: &mut SymbolTable,
+    ) -> Result<()> {
+        if iters.is_empty() {
+            return Ok(());
+        }
+        let workers = self.ctx.config.num_threads.max(1).min(iters.len());
+        let chunks: Vec<Vec<f64>> = (0..workers)
+            .map(|w| iters.iter().copied().skip(w).step_by(workers).collect())
+            .collect();
+        let before = st.clone();
+        let results: Vec<Result<SymbolTable>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let mut local = before.clone();
+                    s.spawn(move |_| -> Result<SymbolTable> {
+                        for &v in chunk {
+                            local.set(var.to_string(), iter_value(v), None);
+                            self.exec_blocks(body, &mut local)?;
+                        }
+                        Ok(local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parfor worker panicked"))
+                .collect()
+        })
+        .expect("parfor scope failed");
+
+        // Merge: result variables are those that existed before the loop.
+        let mut merged: Vec<SymbolTable> = Vec::with_capacity(results.len());
+        for r in results {
+            merged.push(r?);
+        }
+        for name in before.names() {
+            let orig = before.get(&name)?.clone();
+            match &orig.data {
+                Data::Matrix(h) => {
+                    let base = h.acquire()?;
+                    let mut out: Option<Matrix> = None;
+                    for w in &merged {
+                        let Ok(entry) = w.get(&name) else { continue };
+                        let Ok(wm) = entry.data.as_matrix() else {
+                            continue;
+                        };
+                        if wm.shape() != base.shape() {
+                            // shape-changing writes: last worker wins
+                            out = Some((*wm).clone());
+                            continue;
+                        }
+                        // compare-and-merge cells that differ from the base
+                        let target = out.get_or_insert_with(|| (*base).clone());
+                        for i in 0..base.rows() {
+                            for j in 0..base.cols() {
+                                let v = wm.get(i, j);
+                                if v != base.get(i, j) {
+                                    target.set(i, j, v);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(m) = out {
+                        st.set(name.clone(), self.ctx.wrap_matrix(m.compact())?, None);
+                    }
+                }
+                _ => {
+                    // Scalars/frames: take the value from the worker that ran
+                    // the lexically last iteration (deterministic).
+                    if let Some(last) = merged.last() {
+                        if let Ok(e) = last.get(&name) {
+                            st.set(name.clone(), e.data.clone(), e.lineage.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn iteration_values(from: f64, to: f64, step: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut v = from;
+    if step > 0.0 {
+        while v <= to + 1e-12 {
+            out.push(v);
+            v += step;
+        }
+    } else {
+        while v >= to - 1e-12 {
+            out.push(v);
+            v += step;
+        }
+    }
+    out
+}
+
+fn iter_value(v: f64) -> Data {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        Data::Scalar(ScalarValue::I64(v as i64))
+    } else {
+        Data::from_f64(v)
+    }
+}
+
+/// Parse a compact transform spec: `"recode=city,zip dummy=level bin=age:5"`.
+fn parse_transform_spec(spec: &str) -> Result<TransformSpec> {
+    let mut out = TransformSpec::new();
+    for part in spec.split_whitespace() {
+        let (kind, cols) = part
+            .split_once('=')
+            .ok_or_else(|| SysDsError::runtime(format!("malformed transform spec '{part}'")))?;
+        for col in cols.split(',') {
+            out = match kind {
+                "recode" => out.recode(col),
+                "dummy" | "dummycode" => out.dummy_code(col),
+                "bin" => {
+                    let (name, bins) = col.split_once(':').ok_or_else(|| {
+                        SysDsError::runtime("bin spec needs 'column:bins'".to_string())
+                    })?;
+                    let bins: usize = bins
+                        .parse()
+                        .map_err(|_| SysDsError::runtime(format!("bad bin count '{bins}'")))?;
+                    out.bin(name, bins)
+                }
+                other => {
+                    return Err(SysDsError::runtime(format!(
+                        "unknown transform kind '{other}'"
+                    )))
+                }
+            };
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_values_forward_and_backward() {
+        assert_eq!(iteration_values(1.0, 3.0, 1.0), vec![1.0, 2.0, 3.0]);
+        assert_eq!(iteration_values(3.0, 1.0, -1.0), vec![3.0, 2.0, 1.0]);
+        assert_eq!(iteration_values(1.0, 0.0, 1.0), Vec::<f64>::new());
+        assert_eq!(iteration_values(1.0, 2.0, 0.5), vec![1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn iter_value_types() {
+        assert!(matches!(iter_value(2.0), Data::Scalar(ScalarValue::I64(2))));
+        assert!(matches!(iter_value(2.5), Data::Scalar(ScalarValue::F64(_))));
+    }
+
+    #[test]
+    fn transform_spec_parsing() {
+        let s = parse_transform_spec("recode=a,b dummy=c bin=d:4").unwrap();
+        // Applying to a frame is covered in frame tests; here we only
+        // check acceptance/rejection of the syntax.
+        let _ = s;
+        assert!(parse_transform_spec("nonsense").is_err());
+        assert!(parse_transform_spec("bin=x").is_err());
+        assert!(parse_transform_spec("frob=x").is_err());
+    }
+}

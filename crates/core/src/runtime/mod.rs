@@ -1,0 +1,10 @@
+//! The runtime control program (paper §2.3 (3)–(4)).
+
+pub mod bufferpool;
+pub mod instructions;
+pub mod interpreter;
+pub mod paramserver;
+pub mod value;
+
+pub use interpreter::Interpreter;
+pub use value::Data;

@@ -1,0 +1,176 @@
+#![allow(clippy::field_reassign_with_default)]
+
+//! Property tests for the DML engine: randomly generated programs are
+//! evaluated by the full parse → compile → optimize → execute stack and
+//! checked against a direct reference evaluation. This exercises constant
+//! folding, CSE, and instruction execution on arbitrary expression shapes.
+
+use proptest::prelude::*;
+use sysds::api::SystemDS;
+use sysds_common::EngineConfig;
+
+fn session() -> SystemDS {
+    let mut config = EngineConfig::default();
+    config.spill_dir = std::env::temp_dir().join("sysds-dml-proptests");
+    SystemDS::with_config(config).unwrap()
+}
+
+/// A random arithmetic expression together with its reference value.
+/// Values stay in f64-exact integer territory so comparisons are exact.
+#[derive(Debug, Clone)]
+struct GenExpr {
+    text: String,
+    value: f64,
+}
+
+fn leaf() -> impl Strategy<Value = GenExpr> {
+    (-50i64..50).prop_map(|v| GenExpr {
+        text: format!("{v}"),
+        value: v as f64,
+    })
+}
+
+fn expr() -> impl Strategy<Value = GenExpr> {
+    leaf().prop_recursive(4, 64, 3, |inner| {
+        (inner.clone(), inner, 0u8..5).prop_map(|(a, b, op)| match op {
+            0 => GenExpr {
+                text: format!("({} + {})", a.text, b.text),
+                value: a.value + b.value,
+            },
+            1 => GenExpr {
+                text: format!("({} - {})", a.text, b.text),
+                value: a.value - b.value,
+            },
+            2 => GenExpr {
+                text: format!("({} * {})", a.text, b.text),
+                value: a.value * b.value,
+            },
+            3 => GenExpr {
+                text: format!("min({}, {})", a.text, b.text),
+                value: a.value.min(b.value),
+            },
+            _ => GenExpr {
+                text: format!("max({}, {})", a.text, b.text),
+                value: a.value.max(b.value),
+            },
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_arithmetic_matches_reference(e in expr()) {
+        let mut s = session();
+        let out = s.execute(&format!("x = {}", e.text), &[], &["x"]).unwrap();
+        prop_assert_eq!(out.f64("x").unwrap(), e.value, "expr {}", e.text);
+    }
+
+    #[test]
+    fn loop_accumulation_matches_closed_form(n in 1i64..40, step in 1i64..5) {
+        let mut s = session();
+        let script = format!(
+            "acc = 0\nfor (i in seq(1, {n}, {step})) {{ acc = acc + i }}"
+        );
+        let out = s.execute(&script, &[], &["acc"]).unwrap();
+        let expect: i64 = (1..=n).step_by(step as usize).sum();
+        prop_assert_eq!(out.f64("acc").unwrap(), expect as f64);
+    }
+
+    #[test]
+    fn branching_matches_reference(a in -20i64..20, b in -20i64..20) {
+        let mut s = session();
+        let script = format!(
+            "if ({a} > {b}) {{ r = {a} - {b} }} else {{ r = {b} - {a} }}"
+        );
+        let out = s.execute(&script, &[], &["r"]).unwrap();
+        prop_assert_eq!(out.f64("r").unwrap(), (a - b).abs() as f64);
+    }
+
+    #[test]
+    fn matrix_scalar_pipeline_matches(rows in 1usize..12, cols in 1usize..8, s1 in -5i64..5) {
+        let mut sess = session();
+        let script = format!(
+            r#"
+            X = matrix({s1}, rows={rows}, cols={cols})
+            Y = (X + 1) * 2
+            total = sum(Y)
+            "#
+        );
+        let out = sess.execute(&script, &[], &["total"]).unwrap();
+        let expect = ((s1 + 1) * 2) as f64 * (rows * cols) as f64;
+        prop_assert_eq!(out.f64("total").unwrap(), expect);
+    }
+
+    #[test]
+    fn parfor_and_for_agree(n in 1usize..12) {
+        let mut s = session();
+        let script = format!(
+            r#"
+            A = matrix(0, rows=1, cols={n})
+            B = matrix(0, rows=1, cols={n})
+            for (i in 1:{n}) {{ A[1, i] = i * i }}
+            parfor (i in 1:{n}) {{ B[1, i] = i * i }}
+            d = sum((A - B) * (A - B))
+            "#
+        );
+        let out = s.execute(&script, &[], &["d"]).unwrap();
+        prop_assert_eq!(out.f64("d").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cse_never_changes_results(a in -10i64..10, b in 1i64..10) {
+        // The same subexpression appears three times; CSE must not alter
+        // the value.
+        let mut s = session();
+        let script = format!(
+            "x = ({a} * {b} + 1) + ({a} * {b} + 1) + ({a} * {b} + 1)"
+        );
+        let out = s.execute(&script, &[], &["x"]).unwrap();
+        prop_assert_eq!(out.f64("x").unwrap(), 3.0 * (a * b + 1) as f64);
+    }
+
+    #[test]
+    fn while_loop_terminates_correctly(target in 1i64..1000) {
+        let mut s = session();
+        let script = format!(
+            "i = 0\nwhile (2 ^ i < {target}) {{ i = i + 1 }}"
+        );
+        let out = s.execute(&script, &[], &["i"]).unwrap();
+        let expect = (0..).find(|&i| 2f64.powi(i) >= target as f64).unwrap();
+        prop_assert_eq!(out.f64("i").unwrap(), expect as f64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser must never panic: arbitrary input either parses or
+    /// returns a positioned error.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in "\\PC{0,200}") {
+        let _ = sysds::parser::parse_program(&src);
+    }
+
+    /// Arbitrary token soup built from DML fragments must also never
+    /// panic anywhere in parse + compile.
+    #[test]
+    fn compiler_never_panics_on_fragment_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("x"), Just("="), Just("("), Just(")"), Just("{"), Just("}"),
+                Just("["), Just("]"), Just("+"), Just("*"), Just("%*%"), Just(","),
+                Just("if"), Just("else"), Just("for"), Just("while"), Just("function"),
+                Just("return"), Just("1"), Just("2.5"), Just("\"s\""), Just("in"),
+                Just(":"), Just("t"), Just("sum"), Just("rand"), Just("<-"), Just(";")
+            ],
+            0..40,
+        )
+    ) {
+        let src = parts.join(" ");
+        if let Ok(ast) = sysds::parser::parse_program(&src) {
+            let _ = sysds::compiler::compile_program(&ast, &|_| None);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! An RDD-like partitioned key-value collection executed on threads.
+//!
+//! `DistCollection<K, V>` models Spark's `PairRDD<K, V>`: data lives in
+//! partitions; transformations (`map_values`, `filter`) run per-partition in
+//! parallel; `reduce_by_key` and `join` shuffle by key hash. Everything is
+//! eager (no lazy DAG) because the compiler above us already decides
+//! operator order.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A partitioned collection of `(K, V)` pairs.
+#[derive(Debug, Clone)]
+pub struct DistCollection<K, V> {
+    partitions: Vec<Vec<(K, V)>>,
+}
+
+impl<K, V> DistCollection<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync,
+    V: Send + Sync,
+{
+    /// Distribute items round-robin into `num_partitions`.
+    pub fn from_vec(items: Vec<(K, V)>, num_partitions: usize) -> Self {
+        let n = num_partitions.max(1);
+        let mut partitions: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            partitions[i % n].push(item);
+        }
+        DistCollection { partitions }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of elements.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Gather all elements into one vector (Spark `collect`).
+    pub fn collect(self) -> Vec<(K, V)> {
+        self.partitions.into_iter().flatten().collect()
+    }
+
+    /// Parallel map over values, keeping keys and partitioning.
+    pub fn map_values<V2, F>(self, f: F) -> DistCollection<K, V2>
+    where
+        V2: Send + Sync,
+        F: Fn(&K, V) -> V2 + Send + Sync,
+    {
+        let f = &f;
+        let partitions = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .partitions
+                .into_iter()
+                .map(|part| {
+                    s.spawn(move |_| {
+                        part.into_iter()
+                            .map(|(k, v)| {
+                                let v2 = f(&k, v);
+                                (k, v2)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("map worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("map scope failed");
+        DistCollection { partitions }
+    }
+
+    /// Parallel flat-map over pairs, repartitioning the output.
+    pub fn flat_map<K2, V2, I, F>(self, num_partitions: usize, f: F) -> DistCollection<K2, V2>
+    where
+        K2: Eq + Hash + Clone + Send + Sync,
+        V2: Send + Sync,
+        I: IntoIterator<Item = (K2, V2)>,
+        F: Fn(K, V) -> I + Send + Sync,
+    {
+        let f = &f;
+        let items: Vec<(K2, V2)> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .partitions
+                .into_iter()
+                .map(|part| {
+                    s.spawn(move |_| {
+                        part.into_iter()
+                            .flat_map(|(k, v)| f(k, v))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("flat_map worker panicked"))
+                .collect()
+        })
+        .expect("flat_map scope failed");
+        DistCollection::from_vec(items, num_partitions)
+    }
+
+    /// Keep pairs satisfying the predicate.
+    pub fn filter<F>(self, f: F) -> DistCollection<K, V>
+    where
+        F: Fn(&K, &V) -> bool + Send + Sync,
+    {
+        let f = &f;
+        let partitions = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .partitions
+                .into_iter()
+                .map(|part| {
+                    s.spawn(move |_| {
+                        part.into_iter()
+                            .filter(|(k, v)| f(k, v))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("filter worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("filter scope failed");
+        DistCollection { partitions }
+    }
+
+    /// Shuffle by key and combine values with `f` (Spark `reduceByKey`).
+    pub fn reduce_by_key<F>(self, f: F) -> DistCollection<K, V>
+    where
+        F: Fn(V, V) -> V + Send + Sync,
+        V: Send,
+    {
+        let n = self.partitions.len().max(1);
+        let mut merged: HashMap<K, V> = HashMap::new();
+        for part in self.partitions {
+            for (k, v) in part {
+                match merged.remove(&k) {
+                    Some(prev) => {
+                        let combined = f(prev, v);
+                        merged.insert(k, combined);
+                    }
+                    None => {
+                        merged.insert(k, v);
+                    }
+                }
+            }
+        }
+        DistCollection::from_vec(merged.into_iter().collect(), n)
+    }
+
+    /// Inner join on keys; produces one pair per key match combination.
+    pub fn join<V2>(self, other: DistCollection<K, V2>) -> DistCollection<K, (V, V2)>
+    where
+        V: Clone,
+        V2: Clone + Send + Sync,
+    {
+        let n = self.partitions.len().max(1);
+        let mut left: HashMap<K, Vec<V>> = HashMap::new();
+        for (k, v) in self.collect() {
+            left.entry(k).or_default().push(v);
+        }
+        let mut out = Vec::new();
+        for (k, v2) in other.collect() {
+            if let Some(vs) = left.get(&k) {
+                for v in vs {
+                    out.push((k.clone(), (v.clone(), v2.clone())));
+                }
+            }
+        }
+        DistCollection::from_vec(out, n)
+    }
+
+    /// Fold all values into one (driver-side aggregate; Spark `reduce`).
+    pub fn reduce<F>(self, f: F) -> Option<V>
+    where
+        F: Fn(V, V) -> V,
+    {
+        self.partitions
+            .into_iter()
+            .flatten()
+            .map(|(_, v)| v)
+            .reduce(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbers(n: usize, parts: usize) -> DistCollection<usize, f64> {
+        DistCollection::from_vec((0..n).map(|i| (i % 4, i as f64)).collect(), parts)
+    }
+
+    #[test]
+    fn from_vec_distributes_round_robin() {
+        let c = numbers(10, 3);
+        assert_eq!(c.num_partitions(), 3);
+        assert_eq!(c.count(), 10);
+    }
+
+    #[test]
+    fn map_values_applies_in_parallel() {
+        let c = numbers(100, 4).map_values(|_, v| v * 2.0);
+        let total: f64 = c.collect().into_iter().map(|(_, v)| v).sum();
+        assert_eq!(total, (0..100).map(|i| i as f64 * 2.0).sum::<f64>());
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let c = numbers(10, 2).filter(|&k, _| k == 0);
+        assert_eq!(c.count(), 3); // keys 0,4,8
+    }
+
+    #[test]
+    fn reduce_by_key_sums_groups() {
+        let c = numbers(8, 3).reduce_by_key(|a, b| a + b);
+        let mut got: Vec<(usize, f64)> = c.collect();
+        got.sort_by_key(|&(k, _)| k);
+        // key 0: 0+4, key 1: 1+5, key 2: 2+6, key 3: 3+7
+        assert_eq!(got, vec![(0, 4.0), (1, 6.0), (2, 8.0), (3, 10.0)]);
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let a = DistCollection::from_vec(vec![(1, "a"), (2, "b")], 2);
+        let b = DistCollection::from_vec(vec![(2, 20.0), (3, 30.0)], 2);
+        let j = a.join(b).collect();
+        assert_eq!(j, vec![(2, ("b", 20.0))]);
+    }
+
+    #[test]
+    fn join_produces_cross_product_per_key() {
+        let a = DistCollection::from_vec(vec![(1, "x"), (1, "y")], 1);
+        let b = DistCollection::from_vec(vec![(1, 10)], 1);
+        let mut j = a.join(b).collect();
+        j.sort_by_key(|&(_, (s, _))| s);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn flat_map_repartitions() {
+        let c = numbers(4, 2).flat_map(3, |k, v| vec![(k, v), (k + 10, v)]);
+        assert_eq!(c.count(), 8);
+        assert_eq!(c.num_partitions(), 3);
+    }
+
+    #[test]
+    fn reduce_folds_all() {
+        assert_eq!(numbers(5, 2).reduce(|a, b| a + b), Some(10.0));
+        let empty: DistCollection<usize, f64> = DistCollection::from_vec(vec![], 2);
+        assert_eq!(empty.reduce(|a, b| a + b), None);
+    }
+}

@@ -1,0 +1,316 @@
+//! N-dimensional blocking with exponentially decreasing block sizes.
+//!
+//! Paper §2.4: "fixed-size blocking for n-dimensional data is challenging.
+//! We use a scheme of exponentially decreasing block sizes (1024², 128³,
+//! 32⁴, 16⁵, 8⁶, 8⁷), which similarly bounds the size to few megabytes and
+//! allows for local conversion. For example, on a 3D-tensor/matrix
+//! operation, we split each 1024² matrix block into 64 × 128² blocks and
+//! perform the join, yielding again a 3D-tensor with 128³ blocking."
+//!
+//! [`block_edge`] implements the scheme; [`BlockedTensor`] stores an n-d
+//! tensor as blocks keyed by block indexes; [`BlockedTensor::reblock_to`]
+//! performs the purely local conversion between blockings.
+
+use crate::collection::DistCollection;
+use sysds_common::{Result, SysDsError, ValueType};
+use sysds_tensor::BasicTensorBlock;
+
+/// Block edge length per number of dimensions (paper's scheme).
+pub fn block_edge(ndims: usize) -> usize {
+    match ndims {
+        0..=2 => 1024,
+        3 => 128,
+        4 => 32,
+        5 => 16,
+        _ => 8,
+    }
+}
+
+/// Number of cells per full block for `ndims` dimensions.
+pub fn block_cells(ndims: usize) -> usize {
+    block_edge(ndims).pow(ndims.max(1) as u32)
+}
+
+/// An n-dimensional tensor stored as fixed-size blocks.
+#[derive(Debug, Clone)]
+pub struct BlockedTensor {
+    dims: Vec<usize>,
+    edge: usize,
+    blocks: DistCollection<Vec<usize>, BasicTensorBlock>,
+}
+
+impl BlockedTensor {
+    /// Block a dense FP64 tensor with the scheme's edge for its rank
+    /// (overridable via `edge` for tests).
+    pub fn from_tensor(
+        t: &BasicTensorBlock,
+        edge: Option<usize>,
+        num_partitions: usize,
+    ) -> Result<BlockedTensor> {
+        let dims = t.dims().to_vec();
+        let edge = edge.unwrap_or_else(|| block_edge(dims.len())).max(1);
+        let values = t.f64_values()?;
+        let nblocks: Vec<usize> = dims.iter().map(|&d| d.div_ceil(edge).max(1)).collect();
+        let mut items = Vec::new();
+        let mut bidx = vec![0usize; dims.len()];
+        loop {
+            // Extract block at bidx.
+            let lo: Vec<usize> = bidx.iter().map(|&b| b * edge).collect();
+            let hi: Vec<usize> = lo
+                .iter()
+                .zip(&dims)
+                .map(|(&l, &d)| (l + edge).min(d))
+                .collect();
+            let bdims: Vec<usize> = lo.iter().zip(&hi).map(|(&l, &h)| h - l).collect();
+            let mut data = Vec::with_capacity(bdims.iter().product());
+            let mut cell = lo.clone();
+            'cells: loop {
+                // linear offset of `cell` in the source tensor
+                let mut off = 0usize;
+                for (&c, &d) in cell.iter().zip(&dims) {
+                    off = off * d + c;
+                }
+                data.push(values[off]);
+                // increment cell within [lo, hi)
+                for axis in (0..dims.len()).rev() {
+                    cell[axis] += 1;
+                    if cell[axis] < hi[axis] {
+                        continue 'cells;
+                    }
+                    cell[axis] = lo[axis];
+                }
+                break;
+            }
+            items.push((bidx.clone(), BasicTensorBlock::from_f64(bdims, data)?));
+            // increment block index
+            let mut done = true;
+            for axis in (0..dims.len()).rev() {
+                bidx[axis] += 1;
+                if bidx[axis] < nblocks[axis] {
+                    done = false;
+                    break;
+                }
+                bidx[axis] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        Ok(BlockedTensor {
+            dims,
+            edge,
+            blocks: DistCollection::from_vec(items, num_partitions),
+        })
+    }
+
+    /// The tensor's dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The blocking edge.
+    pub fn edge(&self) -> usize {
+        self.edge
+    }
+
+    /// Number of stored blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.count()
+    }
+
+    /// Materialize back into one local tensor.
+    pub fn to_tensor(&self) -> Result<BasicTensorBlock> {
+        let mut out = BasicTensorBlock::zeros(ValueType::Fp64, self.dims.clone());
+        let mut values = out.f64_values()?;
+        for (bidx, block) in self.blocks.clone().collect() {
+            let lo: Vec<usize> = bidx.iter().map(|&b| b * self.edge).collect();
+            let bdims = block.dims().to_vec();
+            let bvals = block.f64_values()?;
+            let mut cell = vec![0usize; bdims.len()];
+            for &v in &bvals {
+                let mut off = 0usize;
+                for ((&c, &l), &d) in cell.iter().zip(&lo).zip(&self.dims) {
+                    off = off * d + (l + c);
+                }
+                values[off] = v;
+                for axis in (0..bdims.len()).rev() {
+                    cell[axis] += 1;
+                    if cell[axis] < bdims[axis] {
+                        break;
+                    }
+                    cell[axis] = 0;
+                }
+            }
+        }
+        out = BasicTensorBlock::from_f64(self.dims.clone(), values)?;
+        Ok(out)
+    }
+
+    /// Locally convert to a smaller blocking edge. The paper's key property:
+    /// when the new edge divides the old one, each old block splits into
+    /// `(old/new)^ndims` new blocks without any shuffle.
+    pub fn reblock_to(&self, new_edge: usize) -> Result<BlockedTensor> {
+        if new_edge == 0 || !self.edge.is_multiple_of(new_edge) {
+            return Err(SysDsError::runtime(format!(
+                "local reblock requires the new edge ({new_edge}) to divide the old ({})",
+                self.edge
+            )));
+        }
+        let ratio = self.edge / new_edge;
+        if ratio == 1 {
+            return Ok(self.clone());
+        }
+        let parts = self.blocks.num_partitions();
+        let dims = self.dims.clone();
+        let ndims = dims.len();
+        let old_edge = self.edge;
+        let blocks = self.blocks.clone().flat_map(parts, move |bidx, block| {
+            let bdims = block.dims().to_vec();
+            let values = block.f64_values().expect("fp64 blocks");
+            // Enumerate sub-block indexes within this block.
+            let sub_counts: Vec<usize> = bdims.iter().map(|&d| d.div_ceil(new_edge)).collect();
+            let mut out = Vec::new();
+            let mut sidx = vec![0usize; ndims];
+            loop {
+                let lo: Vec<usize> = sidx.iter().map(|&s| s * new_edge).collect();
+                let hi: Vec<usize> = lo
+                    .iter()
+                    .zip(&bdims)
+                    .map(|(&l, &d)| (l + new_edge).min(d))
+                    .collect();
+                let sdims: Vec<usize> = lo.iter().zip(&hi).map(|(&l, &h)| h - l).collect();
+                let mut data = Vec::with_capacity(sdims.iter().product());
+                let mut cell = lo.clone();
+                'cells: loop {
+                    let mut off = 0usize;
+                    for (&c, &d) in cell.iter().zip(&bdims) {
+                        off = off * d + c;
+                    }
+                    data.push(values[off]);
+                    for axis in (0..ndims).rev() {
+                        cell[axis] += 1;
+                        if cell[axis] < hi[axis] {
+                            continue 'cells;
+                        }
+                        cell[axis] = lo[axis];
+                    }
+                    break;
+                }
+                let new_bidx: Vec<usize> = bidx
+                    .iter()
+                    .zip(&sidx)
+                    .map(|(&b, &s)| b * (old_edge / new_edge) + s)
+                    .collect();
+                out.push((
+                    new_bidx,
+                    BasicTensorBlock::from_f64(sdims, data).expect("sub-block shape"),
+                ));
+                let mut done = true;
+                for axis in (0..ndims).rev() {
+                    sidx[axis] += 1;
+                    if sidx[axis] < sub_counts[axis] {
+                        done = false;
+                        break;
+                    }
+                    sidx[axis] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+            out
+        });
+        Ok(BlockedTensor {
+            dims,
+            edge: new_edge,
+            blocks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_3d(d0: usize, d1: usize, d2: usize) -> BasicTensorBlock {
+        let n = d0 * d1 * d2;
+        BasicTensorBlock::from_f64(vec![d0, d1, d2], (0..n).map(|x| x as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn scheme_matches_paper() {
+        assert_eq!(block_edge(2), 1024);
+        assert_eq!(block_edge(3), 128);
+        assert_eq!(block_edge(4), 32);
+        assert_eq!(block_edge(5), 16);
+        assert_eq!(block_edge(6), 8);
+        assert_eq!(block_edge(7), 8);
+    }
+
+    #[test]
+    fn block_sizes_bounded_to_few_megabytes() {
+        // 8 bytes per FP64 cell; every rank's full block must stay <= 16 MiB.
+        for nd in 2..=7 {
+            let bytes = block_cells(nd) * 8;
+            assert!(bytes <= 16 << 20, "rank {nd}: {bytes} bytes");
+        }
+    }
+
+    #[test]
+    fn blocking_round_trip_2d() {
+        let t = tensor_3d(6, 5, 1).reshape(vec![6, 5]).unwrap();
+        let b = BlockedTensor::from_tensor(&t, Some(4), 2).unwrap();
+        assert_eq!(b.num_blocks(), 2 * 2);
+        assert_eq!(b.to_tensor().unwrap(), t);
+    }
+
+    #[test]
+    fn blocking_round_trip_3d() {
+        let t = tensor_3d(5, 7, 3);
+        let b = BlockedTensor::from_tensor(&t, Some(3), 3).unwrap();
+        assert_eq!(b.to_tensor().unwrap(), t);
+        assert_eq!(b.num_blocks(), (2 * 3));
+    }
+
+    #[test]
+    fn local_reblock_splits_blocks() {
+        // Paper example in miniature: edge 8 -> edge 2 splits each full
+        // 2-d block into (8/2)^2 = 16 blocks.
+        let t = tensor_3d(8, 8, 1).reshape(vec![8, 8]).unwrap();
+        let b8 = BlockedTensor::from_tensor(&t, Some(8), 2).unwrap();
+        assert_eq!(b8.num_blocks(), 1);
+        let b2 = b8.reblock_to(2).unwrap();
+        assert_eq!(b2.num_blocks(), 16);
+        assert_eq!(b2.to_tensor().unwrap(), t);
+    }
+
+    #[test]
+    fn local_reblock_3d_preserves_content() {
+        let t = tensor_3d(6, 4, 4);
+        let b4 = BlockedTensor::from_tensor(&t, Some(4), 2).unwrap();
+        let b2 = b4.reblock_to(2).unwrap();
+        assert_eq!(b2.edge(), 2);
+        assert_eq!(b2.to_tensor().unwrap(), t);
+    }
+
+    #[test]
+    fn reblock_requires_divisibility() {
+        let t = tensor_3d(4, 4, 1).reshape(vec![4, 4]).unwrap();
+        let b = BlockedTensor::from_tensor(&t, Some(4), 1).unwrap();
+        assert!(b.reblock_to(3).is_err());
+        assert!(b.reblock_to(0).is_err());
+        // same edge is a no-op clone
+        assert_eq!(b.reblock_to(4).unwrap().num_blocks(), b.num_blocks());
+    }
+
+    #[test]
+    fn paper_conversion_example_scaled() {
+        // "split each 1024^2 matrix block into 64 x 128^2 blocks": scaled to
+        // 16^2 -> (16/2=8)^2 = 64 sub-blocks of 2^2.
+        let t = tensor_3d(16, 16, 1).reshape(vec![16, 16]).unwrap();
+        let b = BlockedTensor::from_tensor(&t, Some(16), 2).unwrap();
+        let fine = b.reblock_to(2).unwrap();
+        assert_eq!(fine.num_blocks(), 64);
+        assert_eq!(fine.to_tensor().unwrap(), t);
+    }
+}

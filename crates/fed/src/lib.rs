@@ -1,0 +1,27 @@
+//! Federated ML (paper §3.3).
+//!
+//! "Our basic design consists of multiple control programs, each having
+//! local data. A master control program holds the federated tensors
+//! including connections to the other sites."
+//!
+//! Here each site is an in-process worker thread owning its partition; the
+//! master communicates exclusively over message channels. The key invariant
+//! — the *exchange constraint* — is enforced structurally: workers only
+//! ever answer with **aggregates whose size is independent of the local row
+//! count** (Gram matrices, gradient vectors, scalar statistics); there is no
+//! request that returns raw rows.
+//!
+//! * [`worker`] — the federated site: request/response protocol and the
+//!   worker event loop;
+//! * [`tensor`] — [`FederatedMatrix`]: a metadata object mapping disjoint
+//!   row ranges to workers, with federated instructions (tsmm, `t(X)y`,
+//!   broadcast mat-vec, scalar ops, column aggregates);
+//! * [`learn`] — federated linear regression (normal equations) and
+//!   federated mini-batch SGD with a parameter-server master.
+
+pub mod learn;
+pub mod tensor;
+pub mod worker;
+
+pub use tensor::FederatedMatrix;
+pub use worker::{FedRequest, FedResponse, WorkerHandle};

@@ -1,0 +1,323 @@
+//! Federated site workers and the request/response protocol.
+//!
+//! A worker owns named local matrices and executes *federated instructions*
+//! pushed down by the master. Every response is an aggregate (its size
+//! depends only on column counts or is scalar) — the protocol has no
+//! "return your rows" request, which is how the exchange constraint of
+//! paper §3.3 is kept by construction.
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use sysds_common::{Result, SysDsError};
+use sysds_tensor::kernels::{aggregate, elementwise, matmult, tsmm};
+use sysds_tensor::kernels::{AggFn, BinaryOp, Direction};
+use sysds_tensor::Matrix;
+
+/// Instructions the master can push to a federated site.
+#[derive(Debug)]
+pub enum FedRequest {
+    /// Store a matrix under a variable id (site-side data loading).
+    Put { var: String, data: Matrix },
+    /// Drop a variable.
+    Remove { var: String },
+    /// Fused `t(X) %*% X` over the local partition → `cols x cols`.
+    Tsmm { var: String },
+    /// Fused `t(X) %*% y` with both operands local → `cols x 1`.
+    Tmv { x: String, y: String },
+    /// `X %*% v` with a broadcast `v`; result *stays at the site* under
+    /// `out` (it is row-partitioned data, so it may not travel).
+    MatVecKeep { var: String, v: Matrix, out: String },
+    /// Element-wise op with a broadcast scalar, kept at the site.
+    ScalarOpKeep {
+        var: String,
+        op: BinaryOp,
+        scalar: f64,
+        out: String,
+    },
+    /// Element-wise op between two local variables, kept at the site.
+    BinaryOpKeep {
+        lhs: String,
+        rhs: String,
+        op: BinaryOp,
+        out: String,
+    },
+    /// Column sums of a local variable → `1 x cols` aggregate.
+    ColSums { var: String },
+    /// Full sum of squares (e.g. local residual norms) → scalar.
+    SumSq { var: String },
+    /// Local row count → scalar.
+    NumRows { var: String },
+    /// Gradient of squared loss at broadcast weights:
+    /// `t(X) %*% (X w - y)` → `cols x 1` aggregate.
+    LinRegGradient { x: String, y: String, w: Matrix },
+    /// Stop the worker loop.
+    Shutdown,
+}
+
+/// Responses: aggregates only.
+#[derive(Debug)]
+pub enum FedResponse {
+    Ok,
+    Aggregate(Matrix),
+    Scalar(f64),
+    Error(String),
+}
+
+type Envelope = (FedRequest, Sender<FedResponse>);
+
+/// The master-side handle to one federated site.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    tx: Sender<Envelope>,
+    join: Option<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerHandle {
+    /// Spawn a site worker with initial local variables.
+    pub fn spawn(initial: Vec<(String, Matrix)>, threads: usize) -> WorkerHandle {
+        let (tx, rx) = unbounded::<Envelope>();
+        let join = std::thread::spawn(move || {
+            let mut vars: HashMap<String, Matrix> = initial.into_iter().collect();
+            while let Ok((req, reply)) = rx.recv() {
+                if matches!(req, FedRequest::Shutdown) {
+                    let _ = reply.send(FedResponse::Ok);
+                    break;
+                }
+                let resp = match execute(&mut vars, req, threads) {
+                    Ok(r) => r,
+                    Err(e) => FedResponse::Error(e.to_string()),
+                };
+                let _ = reply.send(resp);
+            }
+        });
+        WorkerHandle {
+            tx,
+            join: Some(join),
+            threads,
+        }
+    }
+
+    /// Degree of parallelism the site uses for its local kernels.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Send one request and wait for the response.
+    pub fn request(&self, req: FedRequest) -> Result<FedResponse> {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send((req, rtx))
+            .map_err(|_| SysDsError::Federated("worker channel closed".into()))?;
+        match rrx.recv() {
+            Ok(FedResponse::Error(msg)) => Err(SysDsError::Federated(msg)),
+            Ok(resp) => Ok(resp),
+            Err(_) => Err(SysDsError::Federated(
+                "worker died before responding".into(),
+            )),
+        }
+    }
+
+    /// Request an aggregate-matrix response.
+    pub fn request_aggregate(&self, req: FedRequest) -> Result<Matrix> {
+        match self.request(req)? {
+            FedResponse::Aggregate(m) => Ok(m),
+            other => Err(SysDsError::Federated(format!(
+                "expected aggregate, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Request a scalar response.
+    pub fn request_scalar(&self, req: FedRequest) -> Result<f64> {
+        match self.request(req)? {
+            FedResponse::Scalar(v) => Ok(v),
+            other => Err(SysDsError::Federated(format!(
+                "expected scalar, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        let (rtx, _rrx) = bounded(1);
+        let _ = self.tx.send((FedRequest::Shutdown, rtx));
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn get<'a>(vars: &'a HashMap<String, Matrix>, var: &str) -> Result<&'a Matrix> {
+    vars.get(var)
+        .ok_or_else(|| SysDsError::Federated(format!("unknown federated variable '{var}'")))
+}
+
+fn execute(
+    vars: &mut HashMap<String, Matrix>,
+    req: FedRequest,
+    threads: usize,
+) -> Result<FedResponse> {
+    Ok(match req {
+        FedRequest::Put { var, data } => {
+            vars.insert(var, data);
+            FedResponse::Ok
+        }
+        FedRequest::Remove { var } => {
+            vars.remove(&var);
+            FedResponse::Ok
+        }
+        FedRequest::Tsmm { var } => {
+            let x = get(vars, &var)?;
+            FedResponse::Aggregate(tsmm::tsmm(x, threads, false))
+        }
+        FedRequest::Tmv { x, y } => {
+            let xv = get(vars, &x)?;
+            let yv = get(vars, &y)?;
+            FedResponse::Aggregate(tsmm::tmv(xv, yv, threads)?)
+        }
+        FedRequest::MatVecKeep { var, v, out } => {
+            let x = get(vars, &var)?;
+            let r = matmult::matmul(x, &v, threads, false)?;
+            vars.insert(out, r);
+            FedResponse::Ok
+        }
+        FedRequest::ScalarOpKeep {
+            var,
+            op,
+            scalar,
+            out,
+        } => {
+            let x = get(vars, &var)?;
+            let r = elementwise::binary_ms(op, x, scalar);
+            vars.insert(out, r);
+            FedResponse::Ok
+        }
+        FedRequest::BinaryOpKeep { lhs, rhs, op, out } => {
+            let a = get(vars, &lhs)?;
+            let b = get(vars, &rhs)?;
+            let r = elementwise::binary_mm(op, a, b)?;
+            vars.insert(out, r);
+            FedResponse::Ok
+        }
+        FedRequest::ColSums { var } => {
+            let x = get(vars, &var)?;
+            FedResponse::Aggregate(aggregate::aggregate_axis(AggFn::Sum, Direction::Col, x)?)
+        }
+        FedRequest::SumSq { var } => {
+            let x = get(vars, &var)?;
+            FedResponse::Scalar(aggregate::aggregate_full(AggFn::SumSq, x)?)
+        }
+        FedRequest::NumRows { var } => FedResponse::Scalar(get(vars, &var)?.rows() as f64),
+        FedRequest::LinRegGradient { x, y, w } => {
+            let xv = get(vars, &x)?;
+            let yv = get(vars, &y)?;
+            let pred = matmult::matmul(xv, &w, threads, false)?;
+            let resid = elementwise::binary_mm(BinaryOp::Sub, &pred, yv)?;
+            FedResponse::Aggregate(tsmm::tmv(xv, &resid, threads)?)
+        }
+        FedRequest::Shutdown => FedResponse::Ok,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysds_tensor::kernels::{gen, reorg};
+
+    #[test]
+    fn put_tsmm_round_trip() {
+        let x = gen::rand_uniform(20, 4, -1.0, 1.0, 1.0, 131);
+        let w = WorkerHandle::spawn(vec![("X".into(), x.clone())], 2);
+        let g = w
+            .request_aggregate(FedRequest::Tsmm { var: "X".into() })
+            .unwrap();
+        let expect = matmult::matmul(&reorg::transpose(&x, 1), &x, 1, false).unwrap();
+        assert!(g.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let w = WorkerHandle::spawn(vec![], 1);
+        assert!(w
+            .request(FedRequest::Tsmm {
+                var: "missing".into()
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn matvec_keeps_result_at_site() {
+        let x = gen::rand_uniform(10, 3, -1.0, 1.0, 1.0, 132);
+        let v = gen::rand_uniform(3, 1, -1.0, 1.0, 1.0, 133);
+        let w = WorkerHandle::spawn(vec![("X".into(), x.clone())], 1);
+        w.request(FedRequest::MatVecKeep {
+            var: "X".into(),
+            v: v.clone(),
+            out: "P".into(),
+        })
+        .unwrap();
+        // The site can aggregate over P, proving it exists locally.
+        let ss = w
+            .request_scalar(FedRequest::SumSq { var: "P".into() })
+            .unwrap();
+        let local = matmult::matmul(&x, &v, 1, false).unwrap();
+        let expect = aggregate::aggregate_full(AggFn::SumSq, &local).unwrap();
+        assert!((ss - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_matches_local_computation() {
+        let (x, y) = gen::synthetic_regression(30, 4, 1.0, 0.1, 134);
+        let wvec = gen::rand_uniform(4, 1, -1.0, 1.0, 1.0, 135);
+        let site = WorkerHandle::spawn(vec![("X".into(), x.clone()), ("y".into(), y.clone())], 2);
+        let g = site
+            .request_aggregate(FedRequest::LinRegGradient {
+                x: "X".into(),
+                y: "y".into(),
+                w: wvec.clone(),
+            })
+            .unwrap();
+        let pred = matmult::matmul(&x, &wvec, 1, false).unwrap();
+        let resid = elementwise::binary_mm(BinaryOp::Sub, &pred, &y).unwrap();
+        let expect = tsmm::tmv(&x, &resid, 1).unwrap();
+        assert!(g.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn put_remove_lifecycle() {
+        let w = WorkerHandle::spawn(vec![], 1);
+        w.request(FedRequest::Put {
+            var: "A".into(),
+            data: Matrix::filled(2, 2, 1.0),
+        })
+        .unwrap();
+        assert_eq!(
+            w.request_scalar(FedRequest::NumRows { var: "A".into() })
+                .unwrap(),
+            2.0
+        );
+        w.request(FedRequest::Remove { var: "A".into() }).unwrap();
+        assert!(w.request(FedRequest::NumRows { var: "A".into() }).is_err());
+    }
+
+    #[test]
+    fn colsums_aggregate() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let w = WorkerHandle::spawn(vec![("X".into(), x)], 1);
+        let cs = w
+            .request_aggregate(FedRequest::ColSums { var: "X".into() })
+            .unwrap();
+        assert_eq!(cs.to_vec(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn worker_survives_errors() {
+        let w = WorkerHandle::spawn(vec![("X".into(), Matrix::zeros(2, 2))], 1);
+        assert!(w.request(FedRequest::Tsmm { var: "nope".into() }).is_err());
+        // still serving afterwards
+        assert!(w.request(FedRequest::Tsmm { var: "X".into() }).is_ok());
+    }
+}

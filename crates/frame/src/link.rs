@@ -1,0 +1,352 @@
+//! Data integration: schema alignment and entity linking (paper §3.2).
+//!
+//! "We aim to provide abstractions (e.g., data extraction, schema
+//! alignment, entity linking, ...) that help a user compose data
+//! preparation pipelines." Two such abstractions live here:
+//!
+//! * [`align_schemas`] — match columns of two frames by name similarity
+//!   and type compatibility, producing an alignment the caller can review
+//!   (semi-automated, per the paper's stance that full automation is
+//!   unrealistic);
+//! * [`link_entities`] — fuzzy key matching between two frames using
+//!   normalized Levenshtein similarity with a blocking pass on the first
+//!   character to avoid the full cross product.
+
+use crate::frame::Frame;
+use sysds_common::{Result, SysDsError};
+
+/// Levenshtein edit distance (iterative two-row DP).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized similarity in `[0, 1]`: `1 - dist / max_len`.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// One proposed column alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMatch {
+    pub left: String,
+    pub right: String,
+    pub name_similarity: f64,
+    pub types_compatible: bool,
+}
+
+/// Normalize a column name for matching: lowercase alphanumerics only.
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_alphanumeric())
+        .collect::<String>()
+        .to_lowercase()
+}
+
+/// Propose a column alignment between two frames: greedy best-match by
+/// normalized name similarity above `threshold`, one-to-one.
+pub fn align_schemas(left: &Frame, right: &Frame, threshold: f64) -> Vec<ColumnMatch> {
+    let lnames = left.names();
+    let rnames = right.names();
+    let lschema = left.schema();
+    let rschema = right.schema();
+    // Score all pairs, then greedily take the best remaining.
+    let mut scored: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, ln) in lnames.iter().enumerate() {
+        for (j, rn) in rnames.iter().enumerate() {
+            let s = similarity(&normalize(ln), &normalize(rn));
+            if s >= threshold {
+                scored.push((s, i, j));
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let mut used_l = vec![false; lnames.len()];
+    let mut used_r = vec![false; rnames.len()];
+    let mut out = Vec::new();
+    for (s, i, j) in scored {
+        if used_l[i] || used_r[j] {
+            continue;
+        }
+        used_l[i] = true;
+        used_r[j] = true;
+        out.push(ColumnMatch {
+            left: lnames[i].clone(),
+            right: rnames[j].clone(),
+            name_similarity: s,
+            types_compatible: lschema[i] == rschema[j]
+                || (lschema[i].is_numeric() && rschema[j].is_numeric()),
+        });
+    }
+    out
+}
+
+/// One linked entity pair (row indices into the two frames).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityLink {
+    pub left_row: usize,
+    pub right_row: usize,
+    pub score: f64,
+}
+
+/// Link rows of two frames by fuzzy matching of a key column. Keys are
+/// normalized, blocked by first character, and matched greedily above
+/// `threshold` (one-to-one).
+pub fn link_entities(
+    left: &Frame,
+    left_key: &str,
+    right: &Frame,
+    right_key: &str,
+    threshold: f64,
+) -> Result<Vec<EntityLink>> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(SysDsError::runtime("link threshold must be in [0, 1]"));
+    }
+    let lkeys: Vec<String> = left
+        .column_by_name(left_key)?
+        .as_strings()
+        .iter()
+        .map(|s| normalize(s))
+        .collect();
+    let rkeys: Vec<String> = right
+        .column_by_name(right_key)?
+        .as_strings()
+        .iter()
+        .map(|s| normalize(s))
+        .collect();
+
+    // Blocking: group right rows by first character to avoid n*m compares.
+    let mut blocks: std::collections::HashMap<char, Vec<usize>> = std::collections::HashMap::new();
+    for (j, k) in rkeys.iter().enumerate() {
+        if let Some(c) = k.chars().next() {
+            blocks.entry(c).or_default().push(j);
+        }
+    }
+    let mut scored: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, lk) in lkeys.iter().enumerate() {
+        let Some(c) = lk.chars().next() else { continue };
+        if let Some(cands) = blocks.get(&c) {
+            for &j in cands {
+                let s = similarity(lk, &rkeys[j]);
+                if s >= threshold {
+                    scored.push((s, i, j));
+                }
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let mut used_l = vec![false; lkeys.len()];
+    let mut used_r = vec![false; rkeys.len()];
+    let mut out = Vec::new();
+    for (s, i, j) in scored {
+        if used_l[i] || used_r[j] {
+            continue;
+        }
+        used_l[i] = true;
+        used_r[j] = true;
+        out.push(EntityLink {
+            left_row: i,
+            right_row: j,
+            score: s,
+        });
+    }
+    out.sort_by_key(|l| l.left_row);
+    Ok(out)
+}
+
+/// Materialize linked pairs as one joined frame (left columns then right
+/// columns, right names prefixed on collision).
+pub fn join_linked(left: &Frame, right: &Frame, links: &[EntityLink]) -> Result<Frame> {
+    let lrows: Vec<usize> = links.iter().map(|l| l.left_row).collect();
+    let rrows: Vec<usize> = links.iter().map(|l| l.right_row).collect();
+    let lpart = left.select_rows(&lrows)?;
+    let rpart = right.select_rows(&rrows)?;
+    let mut out = Frame::new();
+    for (name, j) in lpart.names().to_vec().iter().zip(0..) {
+        out.push_column(name.clone(), lpart.column(j)?.clone())?;
+    }
+    for (name, j) in rpart.names().to_vec().iter().zip(0..) {
+        let final_name = if out.column_index(name).is_ok() {
+            format!("right.{name}")
+        } else {
+            name.clone()
+        };
+        out.push_column(final_name, rpart.column(j)?.clone())?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameColumn;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn similarity_normalized() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("abc", "abc"), 1.0);
+        assert!(similarity("smith", "smyth") > 0.7);
+        assert!(similarity("abc", "xyz") < 0.01);
+    }
+
+    fn customers() -> Frame {
+        Frame::from_columns(vec![
+            (
+                "customer_name".into(),
+                FrameColumn::Str(vec![
+                    "John Smith".into(),
+                    "Maria Garcia".into(),
+                    "Wei Chen".into(),
+                ]),
+            ),
+            ("age".into(), FrameColumn::I64(vec![34, 28, 45])),
+        ])
+        .unwrap()
+    }
+
+    fn orders() -> Frame {
+        Frame::from_columns(vec![
+            (
+                "CustomerName".into(),
+                FrameColumn::Str(vec![
+                    "Wei Chen".into(),
+                    "Jon Smith".into(), // typo'd duplicate of John Smith
+                    "Ahmed Hassan".into(),
+                ]),
+            ),
+            ("Age".into(), FrameColumn::F64(vec![45.0, 34.0, 52.0])),
+            ("total".into(), FrameColumn::F64(vec![10.0, 20.0, 30.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_alignment_matches_by_normalized_name() {
+        let m = align_schemas(&customers(), &orders(), 0.7);
+        assert_eq!(m.len(), 2);
+        let names: Vec<(&str, &str)> = m
+            .iter()
+            .map(|c| (c.left.as_str(), c.right.as_str()))
+            .collect();
+        assert!(names.contains(&("customer_name", "CustomerName")));
+        assert!(names.contains(&("age", "Age")));
+        // int64 vs fp64 counts as numerically compatible
+        assert!(m.iter().all(|c| c.types_compatible));
+    }
+
+    #[test]
+    fn alignment_is_one_to_one() {
+        let left = Frame::from_columns(vec![
+            ("a".into(), FrameColumn::I64(vec![1])),
+            ("ab".into(), FrameColumn::I64(vec![1])),
+        ])
+        .unwrap();
+        let right = Frame::from_columns(vec![("ab".into(), FrameColumn::I64(vec![2]))]).unwrap();
+        let m = align_schemas(&left, &right, 0.4);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].left, "ab", "exact match wins over fuzzy");
+    }
+
+    #[test]
+    fn entity_linking_tolerates_typos() {
+        let links = link_entities(
+            &customers(),
+            "customer_name",
+            &orders(),
+            "CustomerName",
+            0.8,
+        )
+        .unwrap();
+        // John Smith ↔ Jon Smith, Wei Chen ↔ Wei Chen
+        assert_eq!(links.len(), 2);
+        assert!(links
+            .iter()
+            .any(|l| l.left_row == 0 && l.right_row == 1 && l.score < 1.0));
+        assert!(links
+            .iter()
+            .any(|l| l.left_row == 2 && l.right_row == 0 && l.score == 1.0));
+    }
+
+    #[test]
+    fn threshold_filters_weak_links() {
+        let links = link_entities(
+            &customers(),
+            "customer_name",
+            &orders(),
+            "CustomerName",
+            0.999,
+        )
+        .unwrap();
+        assert_eq!(links.len(), 1, "only the exact match survives");
+        assert!(link_entities(
+            &customers(),
+            "customer_name",
+            &orders(),
+            "CustomerName",
+            2.0
+        )
+        .is_err());
+        assert!(link_entities(&customers(), "nope", &orders(), "CustomerName", 0.5).is_err());
+    }
+
+    #[test]
+    fn join_linked_produces_combined_frame() {
+        let links = link_entities(
+            &customers(),
+            "customer_name",
+            &orders(),
+            "CustomerName",
+            0.8,
+        )
+        .unwrap();
+        let joined = join_linked(&customers(), &orders(), &links).unwrap();
+        assert_eq!(joined.rows(), 2);
+        // columns: customer_name, age, CustomerName, Age, total
+        assert_eq!(joined.cols(), 5);
+        // row pairing is correct: ages agree across sources
+        for i in 0..joined.rows() {
+            let l_age = joined.column_by_name("age").unwrap().as_f64().unwrap()[i];
+            let r_age = joined.column_by_name("Age").unwrap().as_f64().unwrap()[i];
+            assert_eq!(l_age, r_age);
+        }
+    }
+
+    #[test]
+    fn name_collisions_get_prefixed() {
+        let a =
+            Frame::from_columns(vec![("k".into(), FrameColumn::Str(vec!["x".into()]))]).unwrap();
+        let b =
+            Frame::from_columns(vec![("k".into(), FrameColumn::Str(vec!["x".into()]))]).unwrap();
+        let links = link_entities(&a, "k", &b, "k", 0.9).unwrap();
+        let joined = join_linked(&a, &b, &links).unwrap();
+        assert_eq!(joined.names(), &["k".to_string(), "right.k".to_string()]);
+    }
+}

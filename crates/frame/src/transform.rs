@@ -1,0 +1,447 @@
+//! Feature transformation encoders (`transformencode`/`transformapply`).
+//!
+//! The encoder follows SystemDS's fit/apply split: [`TransformSpec`] names
+//! which columns get recoded, dummy-coded, binned, or passed through;
+//! [`TransformEncoder::fit`] learns the dictionaries on training data;
+//! [`TransformEncoder::apply`] maps any frame with the same schema to a
+//! numeric matrix. Fitted state is exportable as a frame of `key=value`
+//! tokens — rules as data, keeping the runtime stateless (paper §3.2).
+
+use crate::frame::{Frame, FrameColumn};
+use std::collections::BTreeMap;
+use sysds_common::{Result, SysDsError};
+use sysds_tensor::{DenseMatrix, Matrix};
+
+/// Per-column transformation requested by the user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnTransform {
+    /// Copy the numeric value through unchanged.
+    PassThrough,
+    /// Map distinct values to contiguous codes `1..=K` (sorted by value).
+    Recode,
+    /// One-hot encode: `K` output columns of 0/1 indicators.
+    DummyCode,
+    /// Equi-width binning into `n` bins, codes `1..=n`.
+    Bin(usize),
+}
+
+/// The transformation plan over a frame, by column name.
+#[derive(Debug, Clone, Default)]
+pub struct TransformSpec {
+    transforms: Vec<(String, ColumnTransform)>,
+}
+
+impl TransformSpec {
+    /// Empty spec: every column passes through.
+    pub fn new() -> TransformSpec {
+        TransformSpec::default()
+    }
+
+    /// Request recoding for a column.
+    pub fn recode(mut self, col: impl Into<String>) -> Self {
+        self.transforms.push((col.into(), ColumnTransform::Recode));
+        self
+    }
+
+    /// Request dummy-coding for a column.
+    pub fn dummy_code(mut self, col: impl Into<String>) -> Self {
+        self.transforms
+            .push((col.into(), ColumnTransform::DummyCode));
+        self
+    }
+
+    /// Request equi-width binning for a column.
+    pub fn bin(mut self, col: impl Into<String>, bins: usize) -> Self {
+        self.transforms
+            .push((col.into(), ColumnTransform::Bin(bins)));
+        self
+    }
+
+    fn transform_for(&self, name: &str) -> ColumnTransform {
+        self.transforms
+            .iter()
+            .rev() // later requests win
+            .find(|(n, _)| n == name)
+            .map_or(ColumnTransform::PassThrough, |&(_, t)| t)
+    }
+}
+
+/// Fitted per-column state.
+#[derive(Debug, Clone, PartialEq)]
+enum FittedColumn {
+    PassThrough,
+    /// value -> 1-based code, ordered by value for determinism.
+    Recode(BTreeMap<String, usize>),
+    /// Like recode, but expanded to indicator columns on apply.
+    DummyCode(BTreeMap<String, usize>),
+    /// (min, width, bins)
+    Bin {
+        min: f64,
+        width: f64,
+        bins: usize,
+    },
+}
+
+impl FittedColumn {
+    fn output_width(&self) -> usize {
+        match self {
+            FittedColumn::DummyCode(map) => map.len().max(1),
+            _ => 1,
+        }
+    }
+}
+
+/// A fitted transformation: apply to any same-schema frame.
+#[derive(Debug, Clone)]
+pub struct TransformEncoder {
+    names: Vec<String>,
+    fitted: Vec<FittedColumn>,
+}
+
+impl TransformEncoder {
+    /// Learn dictionaries/bin boundaries from `frame` under `spec`.
+    pub fn fit(frame: &Frame, spec: &TransformSpec) -> Result<TransformEncoder> {
+        let mut fitted = Vec::with_capacity(frame.cols());
+        for (j, name) in frame.names().iter().enumerate() {
+            let col = frame.column(j)?;
+            let f = match spec.transform_for(name) {
+                // String columns cannot pass through numerically; they are
+                // auto-recoded, mirroring SystemDS's implicit recode.
+                ColumnTransform::PassThrough
+                    if col.value_type() == sysds_common::ValueType::String =>
+                {
+                    FittedColumn::Recode(build_dictionary(col))
+                }
+                ColumnTransform::PassThrough => FittedColumn::PassThrough,
+                ColumnTransform::Recode => FittedColumn::Recode(build_dictionary(col)),
+                ColumnTransform::DummyCode => FittedColumn::DummyCode(build_dictionary(col)),
+                ColumnTransform::Bin(bins) => {
+                    if bins == 0 {
+                        return Err(SysDsError::runtime("binning requires at least one bin"));
+                    }
+                    let vals = col.as_f64()?;
+                    let clean: Vec<f64> = vals.into_iter().filter(|v| !v.is_nan()).collect();
+                    if clean.is_empty() {
+                        return Err(SysDsError::runtime(format!(
+                            "cannot fit bins on all-missing column '{name}'"
+                        )));
+                    }
+                    let min = clean.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = clean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let width = ((max - min) / bins as f64).max(f64::MIN_POSITIVE);
+                    FittedColumn::Bin { min, width, bins }
+                }
+            };
+            fitted.push(f);
+        }
+        Ok(TransformEncoder {
+            names: frame.names().to_vec(),
+            fitted,
+        })
+    }
+
+    /// Total number of output matrix columns.
+    pub fn output_cols(&self) -> usize {
+        self.fitted.iter().map(FittedColumn::output_width).sum()
+    }
+
+    /// Encode a frame into a numeric matrix. Unseen categories map to code
+    /// 0 (all-zero indicator row for dummy coding), mirroring SystemDS.
+    pub fn apply(&self, frame: &Frame) -> Result<Matrix> {
+        if frame.names() != self.names.as_slice() {
+            return Err(SysDsError::runtime(
+                "transformapply: frame columns differ from fit",
+            ));
+        }
+        let rows = frame.rows();
+        let out_cols = self.output_cols();
+        let mut out = DenseMatrix::zeros(rows, out_cols);
+        let mut base = 0usize;
+        for (j, f) in self.fitted.iter().enumerate() {
+            let col = frame.column(j)?;
+            match f {
+                FittedColumn::PassThrough => {
+                    let vals = col.as_f64()?;
+                    for (i, v) in vals.into_iter().enumerate() {
+                        out.set(i, base, v);
+                    }
+                    base += 1;
+                }
+                FittedColumn::Recode(map) => {
+                    for (i, key) in col.as_strings().into_iter().enumerate() {
+                        let code = map.get(key.trim()).copied().unwrap_or(0);
+                        out.set(i, base, code as f64);
+                    }
+                    base += 1;
+                }
+                FittedColumn::DummyCode(map) => {
+                    let width = map.len().max(1);
+                    for (i, key) in col.as_strings().into_iter().enumerate() {
+                        if let Some(&code) = map.get(key.trim()) {
+                            out.set(i, base + code - 1, 1.0);
+                        }
+                    }
+                    base += width;
+                }
+                FittedColumn::Bin { min, width, bins } => {
+                    let vals = col.as_f64()?;
+                    for (i, v) in vals.into_iter().enumerate() {
+                        let code = if v.is_nan() {
+                            0.0
+                        } else {
+                            let raw = ((v - min) / width).floor() as i64 + 1;
+                            raw.clamp(1, *bins as i64) as f64
+                        };
+                        out.set(i, base, code);
+                    }
+                    base += 1;
+                }
+            }
+        }
+        Ok(Matrix::Dense(out).compact())
+    }
+
+    /// Export the fitted state as a frame of `column,kind,token` rows —
+    /// "rules as data". [`TransformEncoder::from_metadata`] restores it.
+    pub fn to_metadata(&self) -> Frame {
+        let mut cols = Vec::new();
+        let mut kinds = Vec::new();
+        let mut tokens = Vec::new();
+        for (name, f) in self.names.iter().zip(&self.fitted) {
+            match f {
+                FittedColumn::PassThrough => {
+                    cols.push(name.clone());
+                    kinds.push("pass".to_string());
+                    tokens.push(String::new());
+                }
+                FittedColumn::Recode(map) | FittedColumn::DummyCode(map) => {
+                    let kind = if matches!(f, FittedColumn::Recode(_)) {
+                        "recode"
+                    } else {
+                        "dummy"
+                    };
+                    for (key, code) in map {
+                        cols.push(name.clone());
+                        kinds.push(kind.to_string());
+                        tokens.push(format!("{key}\u{1}{code}"));
+                    }
+                }
+                FittedColumn::Bin { min, width, bins } => {
+                    cols.push(name.clone());
+                    kinds.push("bin".to_string());
+                    tokens.push(format!("{min}\u{1}{width}\u{1}{bins}"));
+                }
+            }
+        }
+        Frame::from_columns(vec![
+            ("column".into(), FrameColumn::Str(cols)),
+            ("kind".into(), FrameColumn::Str(kinds)),
+            ("token".into(), FrameColumn::Str(tokens)),
+        ])
+        .expect("metadata columns share length")
+    }
+
+    /// Restore an encoder from its metadata frame.
+    pub fn from_metadata(meta: &Frame) -> Result<TransformEncoder> {
+        let cols = meta.column_by_name("column")?.as_strings();
+        let kinds = meta.column_by_name("kind")?.as_strings();
+        let tokens = meta.column_by_name("token")?.as_strings();
+        let mut names: Vec<String> = Vec::new();
+        let mut fitted: Vec<FittedColumn> = Vec::new();
+        for ((name, kind), token) in cols.iter().zip(&kinds).zip(&tokens) {
+            if names.last().map(String::as_str) != Some(name.as_str()) {
+                names.push(name.clone());
+                fitted.push(match kind.as_str() {
+                    "pass" => FittedColumn::PassThrough,
+                    "recode" => FittedColumn::Recode(BTreeMap::new()),
+                    "dummy" => FittedColumn::DummyCode(BTreeMap::new()),
+                    "bin" => {
+                        let parts: Vec<&str> = token.split('\u{1}').collect();
+                        if parts.len() != 3 {
+                            return Err(SysDsError::Format("malformed bin token".into()));
+                        }
+                        FittedColumn::Bin {
+                            min: parts[0]
+                                .parse()
+                                .map_err(|_| SysDsError::Format("bin min".into()))?,
+                            width: parts[1]
+                                .parse()
+                                .map_err(|_| SysDsError::Format("bin width".into()))?,
+                            bins: parts[2]
+                                .parse()
+                                .map_err(|_| SysDsError::Format("bin count".into()))?,
+                        }
+                    }
+                    other => {
+                        return Err(SysDsError::Format(format!(
+                            "unknown encoder kind '{other}'"
+                        )))
+                    }
+                });
+            }
+            if matches!(kind.as_str(), "recode" | "dummy") {
+                let (key, code) = token
+                    .split_once('\u{1}')
+                    .ok_or_else(|| SysDsError::Format("malformed recode token".into()))?;
+                let code: usize = code
+                    .parse()
+                    .map_err(|_| SysDsError::Format("recode code".into()))?;
+                match fitted.last_mut().unwrap() {
+                    FittedColumn::Recode(map) | FittedColumn::DummyCode(map) => {
+                        map.insert(key.to_string(), code);
+                    }
+                    _ => return Err(SysDsError::Format("mixed encoder kinds per column".into())),
+                }
+            }
+        }
+        Ok(TransformEncoder { names, fitted })
+    }
+}
+
+fn build_dictionary(col: &FrameColumn) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for s in col.as_strings() {
+        let t = s.trim().to_string();
+        let next = map.len() + 1;
+        map.entry(t).or_insert(next);
+    }
+    // Re-number by sorted order for determinism across insert orders.
+    let keys: Vec<String> = map.keys().cloned().collect();
+    for (k, key) in keys.into_iter().enumerate() {
+        map.insert(key, k + 1);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::from_columns(vec![
+            ("num".into(), FrameColumn::F64(vec![1.0, 2.0, 3.0, 4.0])),
+            (
+                "city".into(),
+                FrameColumn::Str(vec![
+                    "graz".into(),
+                    "wien".into(),
+                    "graz".into(),
+                    "linz".into(),
+                ]),
+            ),
+            (
+                "level".into(),
+                FrameColumn::Str(vec!["lo".into(), "hi".into(), "hi".into(), "lo".into()]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn recode_assigns_sorted_codes() {
+        let f = sample();
+        let enc = TransformEncoder::fit(&f, &TransformSpec::new().recode("city")).unwrap();
+        let m = enc.apply(&f).unwrap();
+        assert_eq!(m.shape(), (4, 3));
+        // sorted dictionary: graz=1, linz=2, wien=3
+        let city: Vec<f64> = (0..4).map(|i| m.get(i, 1)).collect();
+        assert_eq!(city, vec![1.0, 3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn dummy_code_expands_columns() {
+        let f = sample();
+        let enc = TransformEncoder::fit(&f, &TransformSpec::new().dummy_code("city")).unwrap();
+        assert_eq!(enc.output_cols(), 1 + 3 + 1);
+        let m = enc.apply(&f).unwrap();
+        assert_eq!(m.shape(), (4, 5));
+        // row 1 is wien -> indicator in third dummy column (cols 1..4)
+        assert_eq!(m.get(1, 3), 1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        // exactly one indicator per row
+        for i in 0..4 {
+            let s: f64 = (1..4).map(|j| m.get(i, j)).sum();
+            assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn binning_equi_width() {
+        let f = sample();
+        let enc = TransformEncoder::fit(&f, &TransformSpec::new().bin("num", 2)).unwrap();
+        let m = enc.apply(&f).unwrap();
+        let bins: Vec<f64> = (0..4).map(|i| m.get(i, 0)).collect();
+        assert_eq!(bins, vec![1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn unseen_categories_map_to_zero() {
+        let f = sample();
+        let enc = TransformEncoder::fit(&f, &TransformSpec::new().recode("city")).unwrap();
+        let test = Frame::from_columns(vec![
+            ("num".into(), FrameColumn::F64(vec![9.0])),
+            ("city".into(), FrameColumn::Str(vec!["paris".into()])),
+            ("level".into(), FrameColumn::Str(vec!["lo".into()])),
+        ])
+        .unwrap();
+        let m = enc.apply(&test).unwrap();
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn apply_rejects_different_schema() {
+        let f = sample();
+        let enc = TransformEncoder::fit(&f, &TransformSpec::new()).unwrap();
+        let other = Frame::from_columns(vec![("x".into(), FrameColumn::F64(vec![1.0]))]).unwrap();
+        assert!(enc.apply(&other).is_err());
+    }
+
+    #[test]
+    fn metadata_round_trip() {
+        let f = sample();
+        let spec = TransformSpec::new()
+            .recode("city")
+            .dummy_code("level")
+            .bin("num", 3);
+        let enc = TransformEncoder::fit(&f, &spec).unwrap();
+        let meta = enc.to_metadata();
+        let enc2 = TransformEncoder::from_metadata(&meta).unwrap();
+        let (a, b) = (enc.apply(&f).unwrap(), enc2.apply(&f).unwrap());
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn later_spec_entries_win() {
+        let f = sample();
+        let spec = TransformSpec::new().recode("city").dummy_code("city");
+        let enc = TransformEncoder::fit(&f, &spec).unwrap();
+        assert_eq!(enc.output_cols(), 1 + 3 + 1);
+    }
+
+    #[test]
+    fn zero_bins_rejected() {
+        let f = sample();
+        assert!(TransformEncoder::fit(&f, &TransformSpec::new().bin("num", 0)).is_err());
+    }
+
+    #[test]
+    fn bin_codes_clamped_for_out_of_range() {
+        let f = sample();
+        let enc = TransformEncoder::fit(&f, &TransformSpec::new().bin("num", 2)).unwrap();
+        let test = Frame::from_columns(vec![
+            ("num".into(), FrameColumn::F64(vec![-100.0, 100.0])),
+            (
+                "city".into(),
+                FrameColumn::Str(vec!["graz".into(), "graz".into()]),
+            ),
+            (
+                "level".into(),
+                FrameColumn::Str(vec!["lo".into(), "lo".into()]),
+            ),
+        ])
+        .unwrap();
+        let m = enc.apply(&test).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+    }
+}

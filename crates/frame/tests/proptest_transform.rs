@@ -1,0 +1,145 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property tests over the transformation encoders and cleaning
+//! primitives: encode/decode invariants that must hold for any data.
+
+use proptest::prelude::*;
+use sysds_frame::clean::{self, ImputeMethod, OutlierMethod};
+use sysds_frame::prep;
+use sysds_frame::{Frame, FrameColumn, TransformEncoder, TransformSpec};
+use sysds_tensor::kernels::gen;
+
+fn string_frame(categories: Vec<String>, numbers: Vec<f64>) -> Frame {
+    Frame::from_columns(vec![
+        ("cat".into(), FrameColumn::Str(categories)),
+        ("num".into(), FrameColumn::F64(numbers)),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn recode_codes_are_dense_and_consistent(
+        cats in proptest::collection::vec("[a-e]{1,2}", 1..50),
+    ) {
+        let n = cats.len();
+        let f = string_frame(cats.clone(), vec![0.0; n]);
+        let enc = TransformEncoder::fit(&f, &TransformSpec::new().recode("cat")).unwrap();
+        let m = enc.apply(&f).unwrap();
+        // codes are 1..=K with no gaps, identical strings → identical codes
+        let mut seen = std::collections::HashMap::new();
+        let mut max_code = 0.0f64;
+        for (i, c) in cats.iter().enumerate() {
+            let code = m.get(i, 0);
+            prop_assert!(code >= 1.0);
+            max_code = max_code.max(code);
+            if let Some(&prev) = seen.get(c) {
+                prop_assert_eq!(prev, code);
+            }
+            seen.insert(c.clone(), code);
+        }
+        prop_assert_eq!(max_code as usize, seen.len());
+    }
+
+    #[test]
+    fn dummy_code_rows_sum_to_one(cats in proptest::collection::vec("[a-d]", 1..40)) {
+        let n = cats.len();
+        let f = string_frame(cats, vec![1.0; n]);
+        let enc = TransformEncoder::fit(&f, &TransformSpec::new().dummy_code("cat")).unwrap();
+        let m = enc.apply(&f).unwrap();
+        let width = enc.output_cols() - 1; // minus the passthrough column
+        for i in 0..n {
+            let s: f64 = (0..width).map(|j| m.get(i, j)).sum();
+            prop_assert_eq!(s, 1.0, "exactly one indicator per row");
+        }
+    }
+
+    #[test]
+    fn bin_codes_in_range(
+        nums in proptest::collection::vec(-1e3f64..1e3, 2..60),
+        bins in 1usize..10,
+    ) {
+        let n = nums.len();
+        let f = string_frame(vec!["x".into(); n], nums);
+        let enc = TransformEncoder::fit(&f, &TransformSpec::new().bin("num", bins)).unwrap();
+        let m = enc.apply(&f).unwrap();
+        for i in 0..n {
+            let code = m.get(i, 1);
+            prop_assert!(code >= 1.0 && code <= bins as f64);
+        }
+    }
+
+    #[test]
+    fn metadata_round_trip_equivalence(
+        cats in proptest::collection::vec("[a-c]{1,2}", 2..30),
+        bins in 2usize..6,
+    ) {
+        let n = cats.len();
+        let nums: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let f = string_frame(cats, nums);
+        let spec = TransformSpec::new().dummy_code("cat").bin("num", bins);
+        let enc = TransformEncoder::fit(&f, &spec).unwrap();
+        let enc2 = TransformEncoder::from_metadata(&enc.to_metadata()).unwrap();
+        let (a, b) = (enc.apply(&f).unwrap(), enc2.apply(&f).unwrap());
+        prop_assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn impute_removes_all_nans_and_preserves_observed(
+        mut vals in proptest::collection::vec(-100f64..100.0, 3..50),
+        nan_at in proptest::collection::vec(0usize..50, 0..5),
+    ) {
+        for &i in &nan_at {
+            if i < vals.len() - 1 {
+                vals[i] = f64::NAN;
+            }
+        }
+        // guarantee at least one observed value
+        let last = vals.len() - 1;
+        vals[last] = 1.0;
+        let n = vals.len();
+        let m = sysds_tensor::Matrix::from_vec(n, 1, vals.clone()).unwrap();
+        let (fixed, _) = clean::impute(&m, ImputeMethod::Mean, 0.0).unwrap();
+        for i in 0..n {
+            prop_assert!(!fixed.get(i, 0).is_nan());
+            if !vals[i].is_nan() {
+                prop_assert_eq!(fixed.get(i, 0), vals[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn winsorize_bounds_all_cells(seed in any::<u64>(), k in 1.0f64..4.0) {
+        let m = gen::rand_uniform(40, 3, -10.0, 10.0, 1.0, seed);
+        let w = clean::winsorize(&m, OutlierMethod::ZScore(k)).unwrap();
+        let o = clean::detect_outliers(&w, OutlierMethod::ZScore(k * 1.5)).unwrap();
+        // after clamping at k sigma, nothing lies beyond 1.5k sigma
+        prop_assert_eq!(o.nnz(), 0);
+    }
+
+    #[test]
+    fn split_partitions_exactly(rows in 4usize..100, frac in 0.1f64..0.9, seed in any::<u64>()) {
+        let (x, y) = gen::synthetic_regression(rows, 3, 1.0, 0.1, seed);
+        let (xtr, ytr, xte, yte) = prep::train_test_split(&x, &y, frac, seed).unwrap();
+        prop_assert_eq!(xtr.rows() + xte.rows(), rows);
+        prop_assert_eq!(ytr.rows(), xtr.rows());
+        prop_assert_eq!(yte.rows(), xte.rows());
+        prop_assert!(xtr.rows() >= 1);
+    }
+
+    #[test]
+    fn scale_apply_is_invertible(seed in any::<u64>()) {
+        let m = gen::rand_uniform(30, 4, -5.0, 5.0, 1.0, seed);
+        let rules = prep::scale_fit(&m, true, true);
+        let scaled = prep::scale_apply(&m, &rules).unwrap();
+        // invert: x = z * sd + mean
+        for i in 0..30 {
+            for j in 0..4 {
+                let back = scaled.get(i, j) * rules.scale[j] + rules.shift[j];
+                prop_assert!((back - m.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+}

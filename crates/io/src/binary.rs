@@ -1,0 +1,256 @@
+//! Binary blocked matrix format.
+//!
+//! The on-disk layout mirrors the distributed representation (paper §2.4):
+//! a header followed by fixed-size, independently-encoded blocks keyed by
+//! block indices. The same encoding backs buffer-pool spill files.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "SDSB" | version u32 | rows u64 | cols u64 | block_size u64 | nblocks u64
+//! per block: brow u64 | bcol u64 | kind u8 (0 dense, 1 sparse) | payload
+//!   dense payload:  r u64 | c u64 | r*c f64 values (row-major)
+//!   sparse payload: r u64 | c u64 | nnz u64 | nnz * (row u64, col u64, value f64)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::path::Path;
+use sysds_common::{Result, SysDsError};
+use sysds_tensor::kernels::indexing;
+use sysds_tensor::{DenseMatrix, Matrix, SparseMatrix};
+
+const MAGIC: &[u8; 4] = b"SDSB";
+const VERSION: u32 = 1;
+
+/// Encode one matrix block (any shape) into a byte buffer.
+pub fn encode_block(m: &Matrix, buf: &mut BytesMut) {
+    match m {
+        Matrix::Dense(d) => {
+            buf.put_u8(0);
+            buf.put_u64_le(d.rows() as u64);
+            buf.put_u64_le(d.cols() as u64);
+            for &v in d.values() {
+                buf.put_f64_le(v);
+            }
+        }
+        Matrix::Sparse(s) => {
+            buf.put_u8(1);
+            buf.put_u64_le(s.rows() as u64);
+            buf.put_u64_le(s.cols() as u64);
+            buf.put_u64_le(s.nnz() as u64);
+            for (i, j, v) in s.iter_nonzeros() {
+                buf.put_u64_le(i as u64);
+                buf.put_u64_le(j as u64);
+                buf.put_f64_le(v);
+            }
+        }
+    }
+}
+
+/// Decode one matrix block from a byte buffer.
+pub fn decode_block(buf: &mut Bytes) -> Result<Matrix> {
+    if buf.remaining() < 17 {
+        return Err(SysDsError::Format("binary block truncated".into()));
+    }
+    let kind = buf.get_u8();
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    match kind {
+        0 => {
+            if buf.remaining() < rows * cols * 8 {
+                return Err(SysDsError::Format("dense block truncated".into()));
+            }
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                data.push(buf.get_f64_le());
+            }
+            Ok(Matrix::Dense(DenseMatrix::from_vec(rows, cols, data)))
+        }
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(SysDsError::Format("sparse block truncated".into()));
+            }
+            let nnz = buf.get_u64_le() as usize;
+            if buf.remaining() < nnz * 24 {
+                return Err(SysDsError::Format("sparse block truncated".into()));
+            }
+            let mut triples = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                let i = buf.get_u64_le() as usize;
+                let j = buf.get_u64_le() as usize;
+                let v = buf.get_f64_le();
+                if i >= rows || j >= cols {
+                    return Err(SysDsError::Format("sparse block index out of range".into()));
+                }
+                triples.push((i, j, v));
+            }
+            Ok(Matrix::Sparse(SparseMatrix::from_triples(
+                rows, cols, triples,
+            )))
+        }
+        other => Err(SysDsError::Format(format!("unknown block kind {other}"))),
+    }
+}
+
+/// Write a matrix as a blocked binary file with `block_size` tiles.
+pub fn write_matrix(path: impl AsRef<Path>, m: &Matrix, block_size: usize) -> Result<()> {
+    let path = path.as_ref();
+    let bs = block_size.max(1);
+    let (rows, cols) = m.shape();
+    let brows = rows.div_ceil(bs).max(1);
+    let bcols = cols.div_ceil(bs).max(1);
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(rows as u64);
+    buf.put_u64_le(cols as u64);
+    buf.put_u64_le(bs as u64);
+    let nblocks = if rows == 0 || cols == 0 {
+        0
+    } else {
+        brows * bcols
+    };
+    buf.put_u64_le(nblocks as u64);
+    if nblocks > 0 {
+        for br in 0..brows {
+            for bc in 0..bcols {
+                let r0 = br * bs;
+                let c0 = bc * bs;
+                let block = indexing::slice(m, r0..(r0 + bs).min(rows), c0..(c0 + bs).min(cols))?;
+                buf.put_u64_le(br as u64);
+                buf.put_u64_le(bc as u64);
+                encode_block(&block, &mut buf);
+            }
+        }
+    }
+    fs::write(path, &buf).map_err(|e| SysDsError::io(path.display().to_string(), e))
+}
+
+/// Read a blocked binary matrix file.
+pub fn read_matrix(path: impl AsRef<Path>) -> Result<Matrix> {
+    let path = path.as_ref();
+    let data = fs::read(path).map_err(|e| SysDsError::io(path.display().to_string(), e))?;
+    let mut buf = Bytes::from(data);
+    if buf.remaining() < 4 + 4 + 32 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(SysDsError::Format(
+            "not a SystemDS binary matrix file".into(),
+        ));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(SysDsError::Format(format!(
+            "unsupported binary version {version}"
+        )));
+    }
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let bs = buf.get_u64_le() as usize;
+    let nblocks = buf.get_u64_le() as usize;
+    let mut out = DenseMatrix::zeros(rows, cols);
+    for _ in 0..nblocks {
+        if buf.remaining() < 16 {
+            return Err(SysDsError::Format("block header truncated".into()));
+        }
+        let br = buf.get_u64_le() as usize;
+        let bc = buf.get_u64_le() as usize;
+        let block = decode_block(&mut buf)?;
+        let (r0, c0) = (br * bs, bc * bs);
+        if r0 + block.rows() > rows || c0 + block.cols() > cols {
+            return Err(SysDsError::Format("block exceeds matrix bounds".into()));
+        }
+        for i in 0..block.rows() {
+            for j in 0..block.cols() {
+                out.set(r0 + i, c0 + j, block.get(i, j));
+            }
+        }
+    }
+    Ok(Matrix::Dense(out).compact())
+}
+
+/// Encode a whole matrix into one buffer (used by buffer-pool spilling).
+pub fn encode_matrix(m: &Matrix) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_block(m, &mut buf);
+    buf.freeze()
+}
+
+/// Decode a whole matrix from one buffer.
+pub fn decode_matrix(bytes: &[u8]) -> Result<Matrix> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    decode_block(&mut buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysds_tensor::kernels::gen;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sysds-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = gen::rand_uniform(100, 37, -10.0, 10.0, 1.0, 111);
+        let p = tmp("dense.bin");
+        write_matrix(&p, &m, 32).unwrap();
+        let back = read_matrix(&p).unwrap();
+        assert!(back.approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn sparse_round_trip() {
+        let m = gen::rand_uniform(80, 80, -1.0, 1.0, 0.05, 112).compact();
+        assert!(m.is_sparse());
+        let p = tmp("sparse.bin");
+        write_matrix(&p, &m, 25).unwrap();
+        let back = read_matrix(&p).unwrap();
+        assert!(back.approx_eq(&m, 0.0));
+        assert!(back.is_sparse());
+    }
+
+    #[test]
+    fn block_size_larger_than_matrix() {
+        let m = gen::rand_uniform(5, 5, 0.0, 1.0, 1.0, 113);
+        let p = tmp("big-block.bin");
+        write_matrix(&p, &m, 1024).unwrap();
+        assert!(read_matrix(&p).unwrap().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn empty_matrix_round_trip() {
+        let m = Matrix::zeros(0, 0);
+        let p = tmp("empty.bin");
+        write_matrix(&p, &m, 16).unwrap();
+        let back = read_matrix(&p).unwrap();
+        assert_eq!(back.shape(), (0, 0));
+    }
+
+    #[test]
+    fn corrupted_file_rejected() {
+        let p = tmp("corrupt.bin");
+        std::fs::write(&p, b"garbage data here").unwrap();
+        assert!(read_matrix(&p).is_err());
+        std::fs::write(&p, b"SD").unwrap();
+        assert!(read_matrix(&p).is_err());
+    }
+
+    #[test]
+    fn single_buffer_encode_decode() {
+        let m = gen::rand_uniform(20, 20, -1.0, 1.0, 0.1, 114).compact();
+        let bytes = encode_matrix(&m);
+        let back = decode_matrix(&bytes).unwrap();
+        assert!(back.approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let m = gen::rand_uniform(10, 10, 0.0, 1.0, 1.0, 115);
+        let bytes = encode_matrix(&m);
+        assert!(decode_matrix(&bytes[..bytes.len() / 2]).is_err());
+        assert!(decode_matrix(&[]).is_err());
+    }
+}

@@ -1,0 +1,331 @@
+//! CSV readers and writers for matrices and frames.
+//!
+//! Matrix reads are multi-threaded: the in-memory byte buffer is split at
+//! line boundaries into `threads` ranges parsed concurrently, because
+//! string-to-double parsing dominates cold-start I/O (paper §4.2).
+
+use crate::descriptor::FormatDescriptor;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use sysds_common::{Result, SysDsError};
+use sysds_frame::{Frame, FrameColumn};
+use sysds_tensor::{DenseMatrix, Matrix};
+
+/// Read a numeric CSV file into a [`Matrix`] using `threads` parser threads.
+pub fn read_matrix(
+    path: impl AsRef<Path>,
+    desc: &FormatDescriptor,
+    threads: usize,
+) -> Result<Matrix> {
+    let path = path.as_ref();
+    let bytes = fs::read(path).map_err(|e| SysDsError::io(path.display().to_string(), e))?;
+    parse_matrix(&bytes, desc, threads)
+}
+
+/// Parse CSV bytes into a matrix (exposed separately for generated readers
+/// and tests).
+pub fn parse_matrix(bytes: &[u8], desc: &FormatDescriptor, threads: usize) -> Result<Matrix> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| SysDsError::Format("csv file is not valid UTF-8".into()))?;
+    // Collect line boundaries once; skip header if requested.
+    let mut lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if desc.header && !lines.is_empty() {
+        lines.remove(0);
+    }
+    let rows = lines.len();
+    if rows == 0 {
+        return Matrix::from_vec(0, 0, Vec::new());
+    }
+    let cols = split_fields(lines[0], desc.delimiter).count();
+    let mut out = DenseMatrix::zeros(rows, cols);
+    let parts = DenseMatrix::row_partitions(rows, threads);
+    let lines = &lines;
+    let mut rest = out.values_mut();
+    let mut first_err: Option<SysDsError> = None;
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for &(lo, hi) in &parts {
+            let (chunk, tail) = rest.split_at_mut((hi - lo) * cols);
+            rest = tail;
+            handles.push(s.spawn(move |_| -> Result<()> {
+                for (r, line) in lines[lo..hi].iter().enumerate() {
+                    let mut c = 0usize;
+                    for field in split_fields(line, desc.delimiter) {
+                        if c >= cols {
+                            return Err(SysDsError::Format(format!(
+                                "row {} has more than {cols} fields",
+                                lo + r + 1
+                            )));
+                        }
+                        chunk[r * cols + c] = parse_field(field, desc, lo + r, c)?;
+                        c += 1;
+                    }
+                    if c != cols {
+                        return Err(SysDsError::Format(format!(
+                            "row {} has {c} fields, expected {cols}",
+                            lo + r + 1
+                        )));
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            if let Err(e) = h.join().expect("csv parser panicked") {
+                first_err.get_or_insert(e);
+            }
+        }
+    })
+    .expect("csv scope failed");
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(Matrix::Dense(out).compact())
+}
+
+fn parse_field(field: &str, desc: &FormatDescriptor, row: usize, col: usize) -> Result<f64> {
+    let t = field.trim().trim_matches(desc.quote);
+    if t.is_empty() || desc.na_values.iter().any(|na| na == t) {
+        return Ok(f64::NAN);
+    }
+    t.parse::<f64>().map_err(|_| {
+        SysDsError::Format(format!(
+            "cannot parse '{t}' as number at row {}, column {}",
+            row + 1,
+            col + 1
+        ))
+    })
+}
+
+fn split_fields(line: &str, delimiter: char) -> impl Iterator<Item = &str> {
+    line.split(delimiter)
+}
+
+/// Write a matrix as CSV.
+pub fn write_matrix(path: impl AsRef<Path>, m: &Matrix, desc: &FormatDescriptor) -> Result<()> {
+    let path = path.as_ref();
+    let file = fs::File::create(path).map_err(|e| SysDsError::io(path.display().to_string(), e))?;
+    let mut w = std::io::BufWriter::new(file);
+    let io_err = |e| SysDsError::io(path.display().to_string(), e);
+    if desc.header {
+        let names: Vec<String> = (1..=m.cols()).map(|j| format!("C{j}")).collect();
+        writeln!(w, "{}", names.join(&desc.delimiter.to_string())).map_err(io_err)?;
+    }
+    let mut line = String::new();
+    for i in 0..m.rows() {
+        line.clear();
+        for j in 0..m.cols() {
+            if j > 0 {
+                line.push(desc.delimiter);
+            }
+            let v = m.get(i, j);
+            if v == v.trunc() && v.abs() < 1e15 {
+                line.push_str(&format!("{}", v as i64));
+            } else {
+                line.push_str(&format!("{v}"));
+            }
+        }
+        writeln!(w, "{line}").map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Read a CSV file into a [`Frame`] (all columns start as strings; callers
+/// apply [`Frame::detect_schema`]). A header row supplies column names.
+pub fn read_frame(path: impl AsRef<Path>, desc: &FormatDescriptor) -> Result<Frame> {
+    let path = path.as_ref();
+    let text =
+        fs::read_to_string(path).map_err(|e| SysDsError::io(path.display().to_string(), e))?;
+    parse_frame(&text, desc)
+}
+
+/// Parse CSV text into a string-typed frame. Unlike the matrix parser,
+/// rows are preserved exactly: a line of empty fields is a valid frame row
+/// (only the trailing newline's empty segment is dropped).
+pub fn parse_frame(text: &str, desc: &FormatDescriptor) -> Result<Frame> {
+    let mut all: Vec<&str> = text
+        .split('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .collect();
+    if all.last() == Some(&"") {
+        all.pop();
+    }
+    let mut lines = all.into_iter();
+    let (names, first_data): (Vec<String>, Option<&str>) = if desc.header {
+        match lines.next() {
+            Some(h) => (
+                split_fields(h, desc.delimiter)
+                    .map(|s| s.trim().trim_matches(desc.quote).to_string())
+                    .collect(),
+                None,
+            ),
+            None => return Ok(Frame::new()),
+        }
+    } else {
+        match lines.next() {
+            Some(first) => {
+                let n = split_fields(first, desc.delimiter).count();
+                ((1..=n).map(|j| format!("C{j}")).collect(), Some(first))
+            }
+            None => return Ok(Frame::new()),
+        }
+    };
+    let cols = names.len();
+    let mut data: Vec<Vec<String>> = vec![Vec::new(); cols];
+    for line in first_data.into_iter().chain(lines) {
+        let mut c = 0;
+        for field in split_fields(line, desc.delimiter) {
+            if c >= cols {
+                return Err(SysDsError::Format(format!(
+                    "frame row has more than {cols} fields"
+                )));
+            }
+            data[c].push(field.trim().trim_matches(desc.quote).to_string());
+            c += 1;
+        }
+        while c < cols {
+            data[c].push(String::new());
+            c += 1;
+        }
+    }
+    let mut f = Frame::new();
+    for (name, col) in names.into_iter().zip(data) {
+        f.push_column(name, FrameColumn::Str(col))?;
+    }
+    Ok(f)
+}
+
+/// Write a frame as CSV with a header row.
+pub fn write_frame(path: impl AsRef<Path>, frame: &Frame, desc: &FormatDescriptor) -> Result<()> {
+    let path = path.as_ref();
+    let file = fs::File::create(path).map_err(|e| SysDsError::io(path.display().to_string(), e))?;
+    let mut w = std::io::BufWriter::new(file);
+    let io_err = |e| SysDsError::io(path.display().to_string(), e);
+    let sep = desc.delimiter.to_string();
+    writeln!(w, "{}", frame.names().join(&sep)).map_err(io_err)?;
+    let cols: Vec<Vec<String>> = (0..frame.cols())
+        .map(|j| frame.column(j).unwrap().as_strings())
+        .collect();
+    for i in 0..frame.rows() {
+        let row: Vec<&str> = cols.iter().map(|c| c[i].as_str()).collect();
+        writeln!(w, "{}", row.join(&sep)).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysds_tensor::kernels::gen;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sysds-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let m = gen::rand_uniform(50, 7, -5.0, 5.0, 1.0, 101);
+        let p = tmp("round.csv");
+        let desc = FormatDescriptor::csv();
+        write_matrix(&p, &m, &desc).unwrap();
+        let back = read_matrix(&p, &desc, 4).unwrap();
+        assert!(back.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn parallel_parse_equals_serial() {
+        let m = gen::rand_uniform(199, 5, 0.0, 1.0, 1.0, 102);
+        let p = tmp("par.csv");
+        let desc = FormatDescriptor::csv();
+        write_matrix(&p, &m, &desc).unwrap();
+        let a = read_matrix(&p, &desc, 1).unwrap();
+        let b = read_matrix(&p, &desc, 8).unwrap();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn header_skipped() {
+        let text = "a,b\n1,2\n3,4\n";
+        let m = parse_matrix(
+            text.as_bytes(),
+            &FormatDescriptor::csv().with_header(true),
+            2,
+        )
+        .unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn na_values_become_nan() {
+        let text = "1,NA\n,2\n";
+        let m = parse_matrix(text.as_bytes(), &FormatDescriptor::csv(), 1).unwrap();
+        assert!(m.get(0, 1).is_nan());
+        assert!(m.get(1, 0).is_nan());
+        assert_eq!(m.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(parse_matrix(b"1,2\n3\n", &FormatDescriptor::csv(), 1).is_err());
+        assert!(parse_matrix(b"1,2\n3,4,5\n", &FormatDescriptor::csv(), 2).is_err());
+    }
+
+    #[test]
+    fn bad_number_reported_with_position() {
+        let err = parse_matrix(b"1,2\n3,oops\n", &FormatDescriptor::csv(), 1).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("oops") && msg.contains("row 2"), "{msg}");
+    }
+
+    #[test]
+    fn custom_delimiter_and_quotes() {
+        let text = "\"1.5\";\"2.5\"\n3;4\n";
+        let desc = FormatDescriptor::csv().with_delimiter(';');
+        let m = parse_matrix(text.as_bytes(), &desc, 1).unwrap();
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn empty_file_is_zero_matrix() {
+        let m = parse_matrix(b"", &FormatDescriptor::csv(), 2).unwrap();
+        assert_eq!(m.shape(), (0, 0));
+    }
+
+    #[test]
+    fn frame_round_trip_with_header() {
+        let f = Frame::from_columns(vec![
+            ("id".into(), FrameColumn::I64(vec![1, 2])),
+            (
+                "name".into(),
+                FrameColumn::Str(vec!["anna".into(), "bob".into()]),
+            ),
+        ])
+        .unwrap();
+        let p = tmp("frame.csv");
+        let desc = FormatDescriptor::csv().with_header(true);
+        write_frame(&p, &f, &desc).unwrap();
+        let back = read_frame(&p, &desc).unwrap().detect_schema();
+        assert_eq!(back.names(), f.names());
+        assert_eq!(back.get(1, 1).unwrap().to_display_string(), "bob");
+        assert_eq!(back.get(0, 0).unwrap().as_i64().unwrap(), 1);
+    }
+
+    #[test]
+    fn frame_without_header_gets_default_names() {
+        let f = parse_frame("1,x\n2,y\n", &FormatDescriptor::csv()).unwrap();
+        assert_eq!(f.names(), &["C1".to_string(), "C2".to_string()]);
+        assert_eq!(f.rows(), 2);
+    }
+
+    #[test]
+    fn frame_short_rows_padded() {
+        let f = parse_frame("a,b\n1,2\n3\n", &FormatDescriptor::csv().with_header(true)).unwrap();
+        assert_eq!(f.rows(), 2);
+        assert_eq!(f.get(1, 1).unwrap().to_display_string(), "");
+    }
+}

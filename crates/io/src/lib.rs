@@ -1,0 +1,17 @@
+//! I/O: CSV (multi-threaded parse), binary blocked format, metadata files,
+//! and format descriptors with generated readers (paper §2.3, §3.2).
+//!
+//! The paper's Figure 5(a) observes that "multi-threaded I/O in SysDS yields
+//! better performance than TF or Julia for a single model because
+//! string-to-double parsing is compute-intensive" — [`csv::read_matrix`]
+//! reproduces exactly that: the file is split into line ranges parsed in
+//! parallel.
+
+pub mod binary;
+pub mod csv;
+pub mod descriptor;
+pub mod formats;
+pub mod mtd;
+
+pub use descriptor::FormatDescriptor;
+pub use mtd::Metadata;

@@ -1,0 +1,314 @@
+//! Right/left indexing, `cbind`, `rbind`, and `removeEmpty`.
+//!
+//! Ranges here are half-open 0-based `(start..end)` pairs; the language
+//! layer converts DML's inclusive 1-based `X[a:b, c:d]` before calling in.
+
+use crate::matrix::{DenseMatrix, Matrix, SparseMatrix};
+use sysds_common::{Result, SysDsError};
+
+fn check_range(
+    rows: usize,
+    cols: usize,
+    r: &std::ops::Range<usize>,
+    c: &std::ops::Range<usize>,
+) -> Result<()> {
+    if r.start > r.end || c.start > c.end || r.end > rows || c.end > cols {
+        return Err(SysDsError::IndexOutOfBounds {
+            msg: format!(
+                "slice [{}:{}, {}:{}] of a {}x{} matrix",
+                r.start, r.end, c.start, c.end, rows, cols
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Right indexing `X[r, c]` producing a copy of the sub-matrix.
+pub fn slice(m: &Matrix, r: std::ops::Range<usize>, c: std::ops::Range<usize>) -> Result<Matrix> {
+    check_range(m.rows(), m.cols(), &r, &c)?;
+    let (or, oc) = (r.end - r.start, c.end - c.start);
+    match m {
+        Matrix::Dense(d) => {
+            let mut out = DenseMatrix::zeros(or, oc);
+            for i in 0..or {
+                out.row_mut(i)
+                    .copy_from_slice(&d.row(r.start + i)[c.clone()]);
+            }
+            Ok(Matrix::Dense(out).compact())
+        }
+        Matrix::Sparse(s) => {
+            let mut triples = Vec::new();
+            for i in r.clone() {
+                let (cols, vals) = s.row(i);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    let j = j as usize;
+                    if c.contains(&j) {
+                        triples.push((i - r.start, j - c.start, v));
+                    }
+                }
+            }
+            Ok(Matrix::Sparse(SparseMatrix::from_triples(or, oc, triples)).compact())
+        }
+    }
+}
+
+/// A single column as an `m x 1` matrix.
+pub fn column(m: &Matrix, j: usize) -> Result<Matrix> {
+    slice(m, 0..m.rows(), j..j + 1)
+}
+
+/// A single row as a `1 x n` matrix.
+pub fn row(m: &Matrix, i: usize) -> Result<Matrix> {
+    slice(m, i..i + 1, 0..m.cols())
+}
+
+/// Left indexing `X[r, c] = V`: returns a new matrix with the region
+/// replaced (DML left-indexing is copy-on-write).
+pub fn assign(
+    m: &Matrix,
+    r: std::ops::Range<usize>,
+    c: std::ops::Range<usize>,
+    v: &Matrix,
+) -> Result<Matrix> {
+    check_range(m.rows(), m.cols(), &r, &c)?;
+    if v.rows() != r.end - r.start || v.cols() != c.end - c.start {
+        return Err(SysDsError::DimensionMismatch {
+            op: "left-indexing",
+            lhs: (r.end - r.start, c.end - c.start),
+            rhs: v.shape(),
+        });
+    }
+    let mut out = m.to_dense();
+    for i in 0..v.rows() {
+        for j in 0..v.cols() {
+            out.set(r.start + i, c.start + j, v.get(i, j));
+        }
+    }
+    Ok(Matrix::Dense(out).compact())
+}
+
+/// Column-wise concatenation `cbind(A, B)`.
+pub fn cbind(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(SysDsError::DimensionMismatch {
+            op: "cbind",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (rows, ca, cb) = (a.rows(), a.cols(), b.cols());
+    if a.is_sparse() && b.is_sparse() {
+        let mut triples = Vec::with_capacity(a.nnz() + b.nnz());
+        triples.extend(a.iter_nonzeros());
+        triples.extend(b.iter_nonzeros().map(|(i, j, v)| (i, j + ca, v)));
+        return Ok(Matrix::Sparse(SparseMatrix::from_triples(
+            rows,
+            ca + cb,
+            triples,
+        )));
+    }
+    let mut out = DenseMatrix::zeros(rows, ca + cb);
+    let (ad, bd) = (a.to_dense(), b.to_dense());
+    for i in 0..rows {
+        out.row_mut(i)[..ca].copy_from_slice(ad.row(i));
+        out.row_mut(i)[ca..].copy_from_slice(bd.row(i));
+    }
+    Ok(Matrix::Dense(out).compact())
+}
+
+/// Row-wise concatenation `rbind(A, B)`.
+pub fn rbind(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(SysDsError::DimensionMismatch {
+            op: "rbind",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (ra, rb, cols) = (a.rows(), b.rows(), a.cols());
+    if a.is_sparse() && b.is_sparse() {
+        let mut triples = Vec::with_capacity(a.nnz() + b.nnz());
+        triples.extend(a.iter_nonzeros());
+        triples.extend(b.iter_nonzeros().map(|(i, j, v)| (i + ra, j, v)));
+        return Ok(Matrix::Sparse(SparseMatrix::from_triples(
+            ra + rb,
+            cols,
+            triples,
+        )));
+    }
+    let mut out = DenseMatrix::zeros(ra + rb, cols);
+    let (ad, bd) = (a.to_dense(), b.to_dense());
+    for i in 0..ra {
+        out.row_mut(i).copy_from_slice(ad.row(i));
+    }
+    for i in 0..rb {
+        out.row_mut(ra + i).copy_from_slice(bd.row(i));
+    }
+    Ok(Matrix::Dense(out).compact())
+}
+
+/// `removeEmpty(target=X, margin="rows"/"cols")`: drop all-zero rows or
+/// columns. Returns the filtered matrix (at least 1x1 like SystemDS, which
+/// keeps a single zero cell when everything is empty).
+pub fn remove_empty(m: &Matrix, by_rows: bool) -> Matrix {
+    let (rows, cols) = m.shape();
+    let keep: Vec<usize> = if by_rows {
+        (0..rows)
+            .filter(|&i| (0..cols).any(|j| m.get(i, j) != 0.0))
+            .collect()
+    } else {
+        (0..cols)
+            .filter(|&j| (0..rows).any(|i| m.get(i, j) != 0.0))
+            .collect()
+    };
+    if keep.is_empty() {
+        return Matrix::zeros(1, 1);
+    }
+    if by_rows {
+        let mut out = DenseMatrix::zeros(keep.len(), cols);
+        for (dst, &src) in keep.iter().enumerate() {
+            for j in 0..cols {
+                out.set(dst, j, m.get(src, j));
+            }
+        }
+        Matrix::Dense(out).compact()
+    } else {
+        let mut out = DenseMatrix::zeros(rows, keep.len());
+        for i in 0..rows {
+            for (dst, &src) in keep.iter().enumerate() {
+                out.set(i, dst, m.get(i, src));
+            }
+        }
+        Matrix::Dense(out).compact()
+    }
+}
+
+/// `replace(target=X, pattern, replacement)` over all cells; `pattern` may
+/// be NaN (matched with `is_nan`).
+pub fn replace(m: &Matrix, pattern: f64, replacement: f64) -> Matrix {
+    let matches = |v: f64| {
+        if pattern.is_nan() {
+            v.is_nan()
+        } else {
+            v == pattern
+        }
+    };
+    let d = m.to_dense();
+    let (rows, cols) = (d.rows(), d.cols());
+    let data = d
+        .values()
+        .iter()
+        .map(|&v| if matches(v) { replacement } else { v })
+        .collect();
+    Matrix::Dense(DenseMatrix::from_vec(rows, cols, data)).compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gen;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[5.0, 6.0, 7.0, 8.0],
+            &[9.0, 10.0, 11.0, 12.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn slice_extracts_region() {
+        let m = sample();
+        let s = slice(&m, 1..3, 1..3).unwrap();
+        assert!(s.approx_eq(
+            &Matrix::from_rows(&[&[6.0, 7.0], &[10.0, 11.0]]).unwrap(),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let m = sample();
+        assert!(slice(&m, 0..4, 0..2).is_err());
+        assert!(slice(&m, 2..1, 0..2).is_err());
+    }
+
+    #[test]
+    fn sparse_slice_matches_dense() {
+        let m = gen::rand_uniform(30, 20, -1.0, 1.0, 0.1, 61).compact();
+        let d = Matrix::Dense(m.to_dense());
+        let a = slice(&m, 5..25, 3..17).unwrap();
+        let b = slice(&d, 5..25, 3..17).unwrap();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn column_and_row_helpers() {
+        let m = sample();
+        assert_eq!(column(&m, 2).unwrap().to_vec(), vec![3.0, 7.0, 11.0]);
+        assert_eq!(row(&m, 1).unwrap().to_vec(), vec![5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn assign_replaces_region_without_mutating_source() {
+        let m = sample();
+        let v = Matrix::filled(2, 2, 0.0);
+        let out = assign(&m, 0..2, 0..2, &v).unwrap();
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(0, 2), 3.0);
+        assert_eq!(m.get(0, 0), 1.0, "source untouched");
+        assert!(assign(&m, 0..2, 0..2, &Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn cbind_dense_and_sparse() {
+        let a = sample();
+        let b = Matrix::filled(3, 1, -1.0);
+        let c = cbind(&a, &b).unwrap();
+        assert_eq!(c.shape(), (3, 5));
+        assert_eq!(c.get(2, 4), -1.0);
+        assert_eq!(c.get(2, 3), 12.0);
+
+        let sa = gen::rand_uniform(10, 5, 1.0, 2.0, 0.1, 62).compact();
+        let sb = gen::rand_uniform(10, 5, 1.0, 2.0, 0.1, 63).compact();
+        let sc = cbind(&sa, &sb).unwrap();
+        assert!(sc.is_sparse());
+        assert_eq!(sc.nnz(), sa.nnz() + sb.nnz());
+        assert!(cbind(&a, &Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn rbind_stacks_rows() {
+        let a = sample();
+        let b = Matrix::filled(1, 4, 0.5);
+        let c = rbind(&a, &b).unwrap();
+        assert_eq!(c.shape(), (4, 4));
+        assert_eq!(c.get(3, 0), 0.5);
+        assert!(rbind(&a, &Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn remove_empty_rows_and_cols() {
+        let m = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 0.0], &[0.0, 2.0, 3.0]]).unwrap();
+        let r = remove_empty(&m, true);
+        assert_eq!(r.shape(), (2, 3));
+        assert_eq!(r.get(1, 1), 2.0);
+        let c = remove_empty(&m, false);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.get(2, 0), 2.0);
+        // all-empty collapses to 1x1 zero
+        assert_eq!(remove_empty(&Matrix::zeros(3, 3), true).shape(), (1, 1));
+    }
+
+    #[test]
+    fn replace_values_and_nan() {
+        let m = Matrix::from_rows(&[&[1.0, f64::NAN], &[1.0, 3.0]]).unwrap();
+        let a = replace(&m, 1.0, 9.0);
+        assert_eq!(a.get(0, 0), 9.0);
+        assert_eq!(a.get(1, 1), 3.0);
+        let b = replace(&m, f64::NAN, 0.0);
+        assert_eq!(b.get(0, 1), 0.0);
+        assert_eq!(b.get(0, 0), 1.0);
+    }
+}

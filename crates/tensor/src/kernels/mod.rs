@@ -1,0 +1,20 @@
+//! The operation library over [`crate::Matrix`].
+//!
+//! Mirrors SystemDS's TensorBlock operation library (paper §2.4): every
+//! kernel comes in a single-threaded portable form and, where it matters,
+//! a multi-threaded and/or "native BLAS"-style optimized form. The runtime
+//! selects kernels through [`sysds_common::EngineConfig`] (`num_threads`,
+//! `native_blas`), which models the SysDS vs SysDS-B distinction in the
+//! paper's §4.2.
+
+pub mod aggregate;
+pub mod elementwise;
+pub mod gen;
+pub mod indexing;
+pub mod matmult;
+pub mod reorg;
+pub mod solve;
+pub mod tsmm;
+
+pub use aggregate::{AggFn, Direction};
+pub use elementwise::{BinaryOp, UnaryOp};

@@ -1,0 +1,327 @@
+//! Fused transpose-self matrix multiply: `t(X) %*% X` and `t(X) %*% y`.
+//!
+//! These are the dominant operations of the paper's `lmDS` workload
+//! (§4.2: "The main computation of lmDS is X>X and X>y"). The fusion
+//! matters twice:
+//!
+//! * **dense**: `t(X) %*% X` is symmetric, so only the upper triangle is
+//!   computed and mirrored — about half the FLOPs of a general matmul
+//!   (this is the "fused API call" the authors had to hand-write for TF);
+//! * **sparse**: the transpose is never materialized — each CSR row `x_i`
+//!   contributes the outer product `x_i' x_i`, which is exactly why SysDS
+//!   "largely outperforms Julia and TF on sparse data" in Figure 5(b).
+
+use crate::matrix::{DenseMatrix, Matrix};
+use sysds_common::{Result, SysDsError};
+
+/// `t(X) %*% X` (a `cols x cols` symmetric matrix).
+pub fn tsmm(x: &Matrix, threads: usize, blas: bool) -> Matrix {
+    match x {
+        Matrix::Dense(d) => Matrix::Dense(tsmm_dense(d, threads, blas)),
+        Matrix::Sparse(_) => tsmm_sparse(x, threads),
+    }
+}
+
+fn tsmm_dense(x: &DenseMatrix, threads: usize, blas: bool) -> DenseMatrix {
+    let (m, n) = (x.rows(), x.cols());
+    // Partition input rows; each thread accumulates a private n x n buffer,
+    // then buffers are reduced. For tall-skinny X (the lmDS shape) the
+    // private buffers are tiny relative to X.
+    let parts = DenseMatrix::row_partitions(m, threads);
+    let mut partials: Vec<Vec<f64>> = Vec::with_capacity(parts.len());
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move |_| {
+                    let mut acc = vec![0.0f64; n * n];
+                    if blas {
+                        tsmm_rows_blocked(x, &mut acc, lo, hi);
+                    } else {
+                        tsmm_rows_naive(x, &mut acc, lo, hi);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("tsmm worker panicked"));
+        }
+    })
+    .expect("tsmm scope failed");
+
+    let mut out = partials.pop().unwrap_or_else(|| vec![0.0; n * n]);
+    for p in &partials {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += *v;
+        }
+    }
+    // Mirror the upper triangle into the lower one.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out[j * n + i] = out[i * n + j];
+        }
+    }
+    DenseMatrix::from_vec(n, n, out)
+}
+
+/// Upper-triangle accumulation, row-at-a-time outer products.
+fn tsmm_rows_naive(x: &DenseMatrix, acc: &mut [f64], lo: usize, hi: usize) {
+    let n = x.cols();
+    for r in lo..hi {
+        let row = x.row(r);
+        for i in 0..n {
+            let vi = row[i];
+            if vi == 0.0 {
+                continue;
+            }
+            let dst = &mut acc[i * n..(i + 1) * n];
+            for j in i..n {
+                dst[j] += vi * row[j];
+            }
+        }
+    }
+}
+
+/// Blocked variant: processes 8 input rows per sweep to increase register
+/// reuse of the accumulator lines (the "native BLAS" flavor).
+fn tsmm_rows_blocked(x: &DenseMatrix, acc: &mut [f64], lo: usize, hi: usize) {
+    let n = x.cols();
+    let mut r = lo;
+    while r + 8 <= hi {
+        for i in 0..n {
+            let dst = &mut acc[i * n..(i + 1) * n];
+            let (v0, v1, v2, v3) = (
+                x.get(r, i),
+                x.get(r + 1, i),
+                x.get(r + 2, i),
+                x.get(r + 3, i),
+            );
+            let (v4, v5, v6, v7) = (
+                x.get(r + 4, i),
+                x.get(r + 5, i),
+                x.get(r + 6, i),
+                x.get(r + 7, i),
+            );
+            if v0 == 0.0
+                && v1 == 0.0
+                && v2 == 0.0
+                && v3 == 0.0
+                && v4 == 0.0
+                && v5 == 0.0
+                && v6 == 0.0
+                && v7 == 0.0
+            {
+                continue;
+            }
+            let (r0, r1, r2, r3) = (x.row(r), x.row(r + 1), x.row(r + 2), x.row(r + 3));
+            let (r4, r5, r6, r7) = (x.row(r + 4), x.row(r + 5), x.row(r + 6), x.row(r + 7));
+            for j in i..n {
+                dst[j] += v0 * r0[j]
+                    + v1 * r1[j]
+                    + v2 * r2[j]
+                    + v3 * r3[j]
+                    + v4 * r4[j]
+                    + v5 * r5[j]
+                    + v6 * r6[j]
+                    + v7 * r7[j];
+            }
+        }
+        r += 8;
+    }
+    if r < hi {
+        tsmm_rows_naive(x, acc, r, hi);
+    }
+}
+
+/// Sparse `t(X) %*% X` without materializing the transpose: sum of sparse
+/// row outer products. Output is dense `n x n` (Gram matrices of sparse
+/// data are usually dense).
+fn tsmm_sparse(x: &Matrix, threads: usize) -> Matrix {
+    let Matrix::Sparse(s) = x else {
+        unreachable!("caller dispatched on sparse")
+    };
+    let n = s.cols();
+    let parts = DenseMatrix::row_partitions(s.rows(), threads);
+    let mut partials: Vec<Vec<f64>> = Vec::with_capacity(parts.len());
+    crossbeam::thread::scope(|sc| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|&(lo, hi)| {
+                sc.spawn(move |_| {
+                    let mut acc = vec![0.0f64; n * n];
+                    for r in lo..hi {
+                        let (cols, vals) = s.row(r);
+                        for (a, &ci) in cols.iter().enumerate() {
+                            let vi = vals[a];
+                            let dst = &mut acc[ci as usize * n..(ci as usize + 1) * n];
+                            for (b, &cj) in cols.iter().enumerate().skip(a) {
+                                dst[cj as usize] += vi * vals[b];
+                            }
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("tsmm sparse worker panicked"));
+        }
+    })
+    .expect("tsmm sparse scope failed");
+
+    let mut out = partials.pop().unwrap_or_else(|| vec![0.0; n * n]);
+    for p in &partials {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += *v;
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out[j * n + i] = out[i * n + j];
+        }
+    }
+    Matrix::Dense(DenseMatrix::from_vec(n, n, out)).compact()
+}
+
+/// Fused `t(X) %*% y` for an `m x 1` vector `y`; never materializes `t(X)`.
+#[allow(clippy::needless_range_loop)] // r indexes both X rows and y
+pub fn tmv(x: &Matrix, y: &Matrix, threads: usize) -> Result<Matrix> {
+    if y.cols() != 1 || x.rows() != y.rows() {
+        return Err(SysDsError::DimensionMismatch {
+            op: "t(X)%*%y",
+            lhs: x.shape(),
+            rhs: y.shape(),
+        });
+    }
+    let n = x.cols();
+    let yv = y.to_vec();
+    let parts = DenseMatrix::row_partitions(x.rows(), threads);
+    let mut partials: Vec<Vec<f64>> = Vec::with_capacity(parts.len());
+    crossbeam::thread::scope(|sc| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|&(lo, hi)| {
+                let yv = &yv;
+                sc.spawn(move |_| {
+                    let mut acc = vec![0.0f64; n];
+                    match x {
+                        Matrix::Dense(d) => {
+                            for r in lo..hi {
+                                let yr = yv[r];
+                                if yr == 0.0 {
+                                    continue;
+                                }
+                                for (j, &v) in d.row(r).iter().enumerate() {
+                                    acc[j] += v * yr;
+                                }
+                            }
+                        }
+                        Matrix::Sparse(s) => {
+                            for r in lo..hi {
+                                let yr = yv[r];
+                                if yr == 0.0 {
+                                    continue;
+                                }
+                                let (cols, vals) = s.row(r);
+                                for (&c, &v) in cols.iter().zip(vals) {
+                                    acc[c as usize] += v * yr;
+                                }
+                            }
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("tmv worker panicked"));
+        }
+    })
+    .expect("tmv scope failed");
+
+    let mut out = partials.pop().unwrap_or_else(|| vec![0.0; n]);
+    for p in &partials {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += *v;
+        }
+    }
+    Matrix::from_vec(n, 1, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{gen, matmult, reorg};
+
+    fn reference_tsmm(x: &Matrix) -> Matrix {
+        let xt = reorg::transpose(x, 1);
+        matmult::matmul(&xt, x, 1, false).unwrap()
+    }
+
+    #[test]
+    fn dense_tsmm_matches_explicit() {
+        let x = gen::rand_uniform(33, 9, -1.0, 1.0, 1.0, 11);
+        for threads in [1usize, 4] {
+            for blas in [false, true] {
+                let got = tsmm(&x, threads, blas);
+                assert!(
+                    got.approx_eq(&reference_tsmm(&x), 1e-9),
+                    "threads={threads} blas={blas}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_tsmm_row_count_not_multiple_of_eight() {
+        let x = gen::rand_uniform(13, 5, -2.0, 2.0, 1.0, 12);
+        let got = tsmm(&x, 2, true);
+        assert!(got.approx_eq(&reference_tsmm(&x), 1e-9));
+    }
+
+    #[test]
+    fn sparse_tsmm_matches_explicit() {
+        let x = gen::rand_uniform(50, 12, -1.0, 1.0, 0.1, 13).compact();
+        assert!(x.is_sparse());
+        let got = tsmm(&x, 3, false);
+        assert!(got.approx_eq(&reference_tsmm(&x), 1e-9));
+    }
+
+    #[test]
+    fn tsmm_output_is_symmetric() {
+        let x = gen::rand_uniform(40, 7, 0.0, 1.0, 1.0, 14);
+        let g = tsmm(&x, 2, false);
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(g.get(i, j), g.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn tmv_matches_explicit_dense_and_sparse() {
+        let y = gen::rand_uniform(30, 1, -1.0, 1.0, 1.0, 16);
+        for sp in [1.0, 0.1] {
+            let x = gen::rand_uniform(30, 8, -1.0, 1.0, sp, 15).compact();
+            let got = tmv(&x, &y, 2).unwrap();
+            let expect = matmult::matmul(&reorg::transpose(&x, 1), &y, 1, false).unwrap();
+            assert!(got.approx_eq(&expect, 1e-9), "sparsity={sp}");
+        }
+    }
+
+    #[test]
+    fn tmv_shape_check() {
+        let x = Matrix::zeros(5, 3);
+        assert!(tmv(&x, &Matrix::zeros(4, 1), 1).is_err());
+        assert!(tmv(&x, &Matrix::zeros(5, 2), 1).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let x = Matrix::zeros(0, 4);
+        let g = tsmm(&x, 2, false);
+        assert_eq!(g.shape(), (4, 4));
+        assert_eq!(g.nnz(), 0);
+    }
+}

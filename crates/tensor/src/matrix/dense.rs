@@ -1,0 +1,180 @@
+//! Dense row-major `f64` storage.
+
+/// A dense row-major matrix. Element `(i, j)` lives at `data[i * cols + j]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> DenseMatrix {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Wrap a row-major vector; `data.len()` must equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> DenseMatrix {
+        assert_eq!(data.len(), rows * cols, "dense storage length mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element read.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element write.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow the backing row-major slice.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing row-major slice.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Consume into the backing vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Count actual non-zero values (O(n)).
+    pub fn count_nonzeros(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Iterate all cells as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (k / cols, k % cols, v))
+    }
+
+    /// Split the row range into `n` nearly equal chunks for parallel
+    /// kernels; returns `(start_row, end_row)` pairs covering `0..rows`.
+    pub fn row_partitions(rows: usize, n: usize) -> Vec<(usize, usize)> {
+        let n = n.max(1).min(rows.max(1));
+        let base = rows / n;
+        let rem = rows % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for k in 0..n {
+            let len = base + usize::from(k < rem);
+            if len == 0 {
+                break;
+            }
+            out.push((start, start + len));
+            start += len;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = DenseMatrix::zeros(3, 4);
+        m.set(2, 3, 9.5);
+        assert_eq!(m.get(2, 3), 9.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_length_checked() {
+        DenseMatrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn row_slices() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.row(0), &[1., 2., 3.]);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    fn iter_yields_coordinates() {
+        let m = DenseMatrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let cells: Vec<_> = m.iter().collect();
+        assert_eq!(cells, vec![(0, 0, 1.), (0, 1, 2.), (1, 0, 3.), (1, 1, 4.)]);
+    }
+
+    #[test]
+    fn partitions_cover_all_rows() {
+        for rows in [0usize, 1, 7, 100] {
+            for n in [1usize, 3, 8, 200] {
+                let parts = DenseMatrix::row_partitions(rows, n);
+                let total: usize = parts.iter().map(|(s, e)| e - s).sum();
+                assert_eq!(total, rows, "rows={rows} n={n}");
+                // contiguous and ordered
+                let mut expect = 0;
+                for (s, e) in parts {
+                    assert_eq!(s, expect);
+                    assert!(e > s);
+                    expect = e;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_nonzeros_ignores_zero() {
+        let m = DenseMatrix::from_vec(1, 4, vec![0., 1., 0., 2.]);
+        assert_eq!(m.count_nonzeros(), 2);
+    }
+}

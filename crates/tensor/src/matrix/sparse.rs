@@ -1,0 +1,291 @@
+//! Sparse CSR (compressed sparse row) `f64` storage.
+
+use super::dense::DenseMatrix;
+
+/// A CSR sparse matrix: row `i`'s entries live at
+/// `row_ptr[i]..row_ptr[i+1]` in `col_idx`/`values`, with `col_idx` strictly
+/// increasing within each row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// An empty (all-zero) sparse matrix.
+    pub fn empty(rows: usize, cols: usize) -> SparseMatrix {
+        assert!(
+            cols <= u32::MAX as usize,
+            "sparse matrices cap columns at u32::MAX"
+        );
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from raw CSR components (debug-asserted invariants).
+    pub fn from_csr(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> SparseMatrix {
+        debug_assert_eq!(row_ptr.len(), rows + 1);
+        debug_assert_eq!(col_idx.len(), values.len());
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), values.len());
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Convert from dense, dropping zeros.
+    pub fn from_dense(d: &DenseMatrix) -> SparseMatrix {
+        let mut b = SparseBuilder::new(d.rows(), d.cols());
+        for i in 0..d.rows() {
+            for (j, &v) in d.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    b.push(i, j, v);
+                }
+            }
+        }
+        b.finish()
+    }
+
+    /// Build from coordinate triples; duplicates are summed, entries sorted.
+    pub fn from_triples(
+        rows: usize,
+        cols: usize,
+        mut triples: Vec<(usize, usize, f64)>,
+    ) -> SparseMatrix {
+        triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut b = SparseBuilder::new(rows, cols);
+        let mut iter = triples.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while iter.peek().is_some_and(|&(r2, c2, _)| r2 == r && c2 == c) {
+                v += iter.next().unwrap().2;
+            }
+            if v != 0.0 {
+                b.push(r, c, v);
+            }
+        }
+        b.finish()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored non-zero count.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Element read by binary search within the row.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        match self.col_idx[lo..hi].binary_search(&(j as u32)) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The `(col_idx, values)` slices of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Iterate stored entries as `(row, col, value)` in row-major order.
+    pub fn iter_nonzeros(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (i, c as usize, v))
+        })
+    }
+
+    /// Materialize a dense copy.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for (i, j, v) in self.iter_nonzeros() {
+            d.set(i, j, v);
+        }
+        d
+    }
+
+    /// Raw CSR parts `(row_ptr, col_idx, values)` for serialization.
+    pub fn csr_parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+}
+
+/// Incremental row-major CSR builder. `push` calls must be in
+/// non-decreasing row order with strictly increasing columns per row.
+#[derive(Debug)]
+pub struct SparseBuilder {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+    cur_row: usize,
+}
+
+impl SparseBuilder {
+    /// Start building a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> SparseBuilder {
+        assert!(cols <= u32::MAX as usize);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        SparseBuilder {
+            rows,
+            cols,
+            row_ptr,
+            col_idx: Vec::new(),
+            values: Vec::new(),
+            cur_row: 0,
+        }
+    }
+
+    /// Reserve space for an expected number of non-zeros.
+    pub fn reserve(&mut self, nnz: usize) {
+        self.col_idx.reserve(nnz);
+        self.values.reserve(nnz);
+    }
+
+    /// Append one entry; zeros are skipped.
+    pub fn push(&mut self, row: usize, col: usize, v: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        debug_assert!(row >= self.cur_row, "rows must be pushed in order");
+        if v == 0.0 {
+            return;
+        }
+        while self.cur_row < row {
+            self.row_ptr.push(self.values.len());
+            self.cur_row += 1;
+        }
+        debug_assert!(
+            self.col_idx.len() == *self.row_ptr.last().unwrap()
+                || *self.col_idx.last().unwrap() < col as u32,
+            "columns must be strictly increasing within a row"
+        );
+        self.col_idx.push(col as u32);
+        self.values.push(v);
+    }
+
+    /// Finish, closing any trailing empty rows.
+    pub fn finish(mut self) -> SparseMatrix {
+        while self.cur_row < self.rows {
+            self.row_ptr.push(self.values.len());
+            self.cur_row += 1;
+        }
+        SparseMatrix::from_csr(
+            self.rows,
+            self.cols,
+            self.row_ptr,
+            self.col_idx,
+            self.values,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [0 3 0]
+        SparseMatrix::from_triples(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0)])
+    }
+
+    #[test]
+    fn get_hits_and_misses() {
+        let s = sample();
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(0, 1), 0.0);
+        assert_eq!(s.get(0, 2), 2.0);
+        assert_eq!(s.get(1, 1), 0.0);
+        assert_eq!(s.get(2, 1), 3.0);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn triples_merge_duplicates() {
+        let s = SparseMatrix::from_triples(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, -1.0), (1, 1, 1.0)],
+        );
+        assert_eq!(s.get(0, 0), 3.0);
+        // cancelled duplicate dropped entirely
+        assert_eq!(s.nnz(), 1);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let s = sample();
+        let d = s.to_dense();
+        let s2 = SparseMatrix::from_dense(&d);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn builder_skips_zeros_and_closes_rows() {
+        let mut b = SparseBuilder::new(4, 2);
+        b.push(0, 1, 5.0);
+        b.push(2, 0, 0.0); // skipped
+        b.push(3, 1, 7.0);
+        let s = b.finish();
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.row_nnz(0), 1);
+        assert_eq!(s.row_nnz(1), 0);
+        assert_eq!(s.row_nnz(2), 0);
+        assert_eq!(s.row_nnz(3), 1);
+    }
+
+    #[test]
+    fn iter_nonzeros_order() {
+        let s = sample();
+        let cells: Vec<_> = s.iter_nonzeros().collect();
+        assert_eq!(cells, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let s = SparseMatrix::empty(3, 3);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.get(2, 2), 0.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Homogeneous n-dimensional tensor blocks.
+
+use crate::matrix::Matrix;
+use sysds_common::{Result, ScalarValue, SysDsError, ValueType};
+
+/// Typed dense storage of a linearized tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorStorage {
+    Fp32(Vec<f32>),
+    Fp64(Vec<f64>),
+    Int32(Vec<i32>),
+    Int64(Vec<i64>),
+    Boolean(Vec<bool>),
+    String(Vec<String>),
+    /// Sparse COO storage of numeric tensors: sorted linear offsets with
+    /// f64 values (other cells are zero).
+    SparseFp64 {
+        offsets: Vec<usize>,
+        values: Vec<f64>,
+    },
+}
+
+impl TensorStorage {
+    fn value_type(&self) -> ValueType {
+        match self {
+            TensorStorage::Fp32(_) => ValueType::Fp32,
+            TensorStorage::Fp64(_) | TensorStorage::SparseFp64 { .. } => ValueType::Fp64,
+            TensorStorage::Int32(_) => ValueType::Int32,
+            TensorStorage::Int64(_) => ValueType::Int64,
+            TensorStorage::Boolean(_) => ValueType::Boolean,
+            TensorStorage::String(_) => ValueType::String,
+        }
+    }
+}
+
+/// A homogeneous, linearized, multi-dimensional array of a single value
+/// type (paper §2.4, `BasicTensorBlock`). Row-major linearization: the last
+/// dimension varies fastest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicTensorBlock {
+    dims: Vec<usize>,
+    storage: TensorStorage,
+}
+
+impl BasicTensorBlock {
+    /// Zero-initialized dense tensor of the given type and dimensions.
+    pub fn zeros(value_type: ValueType, dims: Vec<usize>) -> BasicTensorBlock {
+        let len: usize = dims.iter().product();
+        let storage = match value_type {
+            ValueType::Fp32 => TensorStorage::Fp32(vec![0.0; len]),
+            ValueType::Fp64 => TensorStorage::Fp64(vec![0.0; len]),
+            ValueType::Int32 => TensorStorage::Int32(vec![0; len]),
+            ValueType::Int64 => TensorStorage::Int64(vec![0; len]),
+            ValueType::Boolean => TensorStorage::Boolean(vec![false; len]),
+            ValueType::String => TensorStorage::String(vec![String::new(); len]),
+        };
+        BasicTensorBlock { dims, storage }
+    }
+
+    /// Dense FP64 tensor from a linearized vector.
+    pub fn from_f64(dims: Vec<usize>, data: Vec<f64>) -> Result<BasicTensorBlock> {
+        let len: usize = dims.iter().product();
+        if data.len() != len {
+            return Err(SysDsError::runtime(format!(
+                "tensor dims {dims:?} require {len} values, got {}",
+                data.len()
+            )));
+        }
+        Ok(BasicTensorBlock {
+            dims,
+            storage: TensorStorage::Fp64(data),
+        })
+    }
+
+    /// Sparse FP64 tensor from `(linear offset, value)` pairs.
+    pub fn sparse_f64(dims: Vec<usize>, mut cells: Vec<(usize, f64)>) -> Result<BasicTensorBlock> {
+        let len: usize = dims.iter().product();
+        cells.sort_unstable_by_key(|&(o, _)| o);
+        cells.dedup_by_key(|c| c.0);
+        if cells.last().is_some_and(|&(o, _)| o >= len) {
+            return Err(SysDsError::IndexOutOfBounds {
+                msg: "sparse tensor offset".into(),
+            });
+        }
+        let (offsets, values) = cells.into_iter().filter(|&(_, v)| v != 0.0).unzip();
+        Ok(BasicTensorBlock {
+            dims,
+            storage: TensorStorage::SparseFp64 { offsets, values },
+        })
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total cell count.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the tensor has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tensor's value type.
+    pub fn value_type(&self) -> ValueType {
+        self.storage.value_type()
+    }
+
+    /// Whether the underlying storage is sparse.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.storage, TensorStorage::SparseFp64 { .. })
+    }
+
+    /// Borrow the storage.
+    pub fn storage(&self) -> &TensorStorage {
+        &self.storage
+    }
+
+    /// Linearize an index vector (row-major; last dimension fastest).
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len() {
+            return Err(SysDsError::IndexOutOfBounds {
+                msg: format!("{}-d index into {}-d tensor", index.len(), self.dims.len()),
+            });
+        }
+        let mut off = 0usize;
+        for (d, (&i, &n)) in index.iter().zip(&self.dims).enumerate() {
+            if i >= n {
+                return Err(SysDsError::IndexOutOfBounds {
+                    msg: format!("index {i} >= dim {n} (axis {d})"),
+                });
+            }
+            off = off * n + i;
+        }
+        Ok(off)
+    }
+
+    /// Typed cell read.
+    pub fn get(&self, index: &[usize]) -> Result<ScalarValue> {
+        let off = self.offset(index)?;
+        Ok(match &self.storage {
+            TensorStorage::Fp32(v) => ScalarValue::F64(v[off] as f64),
+            TensorStorage::Fp64(v) => ScalarValue::F64(v[off]),
+            TensorStorage::Int32(v) => ScalarValue::I64(v[off] as i64),
+            TensorStorage::Int64(v) => ScalarValue::I64(v[off]),
+            TensorStorage::Boolean(v) => ScalarValue::Bool(v[off]),
+            TensorStorage::String(v) => ScalarValue::Str(v[off].clone()),
+            TensorStorage::SparseFp64 { offsets, values } => {
+                ScalarValue::F64(match offsets.binary_search(&off) {
+                    Ok(k) => values[k],
+                    Err(_) => 0.0,
+                })
+            }
+        })
+    }
+
+    /// Typed cell write (sparse tensors reject point writes; densify first).
+    pub fn set(&mut self, index: &[usize], value: ScalarValue) -> Result<()> {
+        let off = self.offset(index)?;
+        match &mut self.storage {
+            TensorStorage::Fp32(v) => v[off] = value.as_f64()? as f32,
+            TensorStorage::Fp64(v) => v[off] = value.as_f64()?,
+            TensorStorage::Int32(v) => v[off] = value.as_i64()? as i32,
+            TensorStorage::Int64(v) => v[off] = value.as_i64()?,
+            TensorStorage::Boolean(v) => v[off] = value.as_bool()?,
+            TensorStorage::String(v) => v[off] = value.to_display_string(),
+            TensorStorage::SparseFp64 { .. } => {
+                return Err(SysDsError::runtime(
+                    "point writes on sparse tensors; densify first",
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert to a dense FP64 tensor (lossy for strings that don't parse —
+    /// those become an error).
+    pub fn to_f64_dense(&self) -> Result<BasicTensorBlock> {
+        let data = self.f64_values()?;
+        BasicTensorBlock::from_f64(self.dims.clone(), data)
+    }
+
+    /// All cell values as `f64` in linear order.
+    pub fn f64_values(&self) -> Result<Vec<f64>> {
+        Ok(match &self.storage {
+            TensorStorage::Fp32(v) => v.iter().map(|&x| x as f64).collect(),
+            TensorStorage::Fp64(v) => v.clone(),
+            TensorStorage::Int32(v) => v.iter().map(|&x| x as f64).collect(),
+            TensorStorage::Int64(v) => v.iter().map(|&x| x as f64).collect(),
+            TensorStorage::Boolean(v) => v.iter().map(|&b| f64::from(b)).collect(),
+            TensorStorage::String(v) => {
+                let mut out = Vec::with_capacity(v.len());
+                for s in v {
+                    out.push(s.trim().parse::<f64>().map_err(|_| {
+                        SysDsError::TypeError(format!("cannot convert '{s}' to fp64"))
+                    })?);
+                }
+                out
+            }
+            TensorStorage::SparseFp64 { offsets, values } => {
+                let mut out = vec![0.0; self.len()];
+                for (&o, &v) in offsets.iter().zip(values) {
+                    out[o] = v;
+                }
+                out
+            }
+        })
+    }
+
+    /// Reinterpret a 2-D FP64 tensor as a [`Matrix`] (consistency between
+    /// local matrix ops and the general tensor model).
+    pub fn to_matrix(&self) -> Result<Matrix> {
+        if self.dims.len() != 2 {
+            return Err(SysDsError::runtime(format!(
+                "to_matrix on a {}-d tensor",
+                self.dims.len()
+            )));
+        }
+        let data = self.f64_values()?;
+        Matrix::from_vec(self.dims[0], self.dims[1], data)
+    }
+
+    /// Wrap a [`Matrix`] as a 2-D FP64 tensor block.
+    pub fn from_matrix(m: &Matrix) -> BasicTensorBlock {
+        match m {
+            Matrix::Dense(d) => BasicTensorBlock {
+                dims: vec![d.rows(), d.cols()],
+                storage: TensorStorage::Fp64(d.values().to_vec()),
+            },
+            Matrix::Sparse(s) => {
+                let cells = s
+                    .iter_nonzeros()
+                    .map(|(i, j, v)| (i * s.cols() + j, v))
+                    .collect();
+                BasicTensorBlock::sparse_f64(vec![s.rows(), s.cols()], cells)
+                    .expect("offsets in range by construction")
+            }
+        }
+    }
+
+    /// Reshape without copying semantics change (cell count must match).
+    pub fn reshape(&self, dims: Vec<usize>) -> Result<BasicTensorBlock> {
+        let new_len: usize = dims.iter().product();
+        if new_len != self.len() {
+            return Err(SysDsError::runtime(format!(
+                "tensor reshape {:?} -> {dims:?} changes cell count",
+                self.dims
+            )));
+        }
+        Ok(BasicTensorBlock {
+            dims,
+            storage: self.storage.clone(),
+        })
+    }
+
+    /// Element-wise f64 map producing a dense FP64 tensor.
+    pub fn map_f64(&self, f: impl Fn(f64) -> f64) -> Result<BasicTensorBlock> {
+        let data = self.f64_values()?.into_iter().map(f).collect();
+        BasicTensorBlock::from_f64(self.dims.clone(), data)
+    }
+
+    /// Estimated in-memory size in bytes.
+    pub fn in_memory_size(&self) -> usize {
+        let elems = match &self.storage {
+            TensorStorage::SparseFp64 { offsets, .. } => offsets.len() * 16,
+            _ => self.len() * self.value_type().element_size(),
+        };
+        48 + elems
+    }
+
+    /// Slice along the first dimension: rows `lo..hi` (for n-d blocking).
+    pub fn slice_dim0(&self, lo: usize, hi: usize) -> Result<BasicTensorBlock> {
+        if lo > hi || hi > self.dims.first().copied().unwrap_or(0) {
+            return Err(SysDsError::IndexOutOfBounds {
+                msg: format!("dim0 slice {lo}..{hi}"),
+            });
+        }
+        let inner: usize = self.dims[1..].iter().product();
+        let mut dims = self.dims.clone();
+        dims[0] = hi - lo;
+        match &self.storage {
+            TensorStorage::SparseFp64 { offsets, values } => {
+                let cells = offsets
+                    .iter()
+                    .zip(values)
+                    .filter(|(&o, _)| o >= lo * inner && o < hi * inner)
+                    .map(|(&o, &v)| (o - lo * inner, v))
+                    .collect();
+                BasicTensorBlock::sparse_f64(dims, cells)
+            }
+            _ => {
+                let all = self.f64_values()?;
+                BasicTensorBlock::from_f64(dims, all[lo * inner..hi * inner].to_vec())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_of_each_type() {
+        for vt in [
+            ValueType::Fp32,
+            ValueType::Fp64,
+            ValueType::Int32,
+            ValueType::Int64,
+            ValueType::Boolean,
+            ValueType::String,
+        ] {
+            let t = BasicTensorBlock::zeros(vt, vec![2, 3]);
+            assert_eq!(t.value_type(), vt);
+            assert_eq!(t.len(), 6);
+        }
+    }
+
+    #[test]
+    fn offset_linearization_row_major() {
+        let t = BasicTensorBlock::zeros(ValueType::Fp64, vec![2, 3, 4]);
+        assert_eq!(t.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(t.offset(&[0, 0, 3]).unwrap(), 3);
+        assert_eq!(t.offset(&[0, 1, 0]).unwrap(), 4);
+        assert_eq!(t.offset(&[1, 0, 0]).unwrap(), 12);
+        assert_eq!(t.offset(&[1, 2, 3]).unwrap(), 23);
+        assert!(t.offset(&[2, 0, 0]).is_err());
+        assert!(t.offset(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn get_set_round_trip_typed() {
+        let mut t = BasicTensorBlock::zeros(ValueType::Int32, vec![2, 2]);
+        t.set(&[1, 0], ScalarValue::I64(42)).unwrap();
+        assert_eq!(t.get(&[1, 0]).unwrap(), ScalarValue::I64(42));
+        let mut s = BasicTensorBlock::zeros(ValueType::String, vec![1, 1]);
+        s.set(&[0, 0], ScalarValue::Str("hi".into())).unwrap();
+        assert_eq!(s.get(&[0, 0]).unwrap(), ScalarValue::Str("hi".into()));
+    }
+
+    #[test]
+    fn sparse_tensor_reads() {
+        let t = BasicTensorBlock::sparse_f64(vec![2, 3], vec![(4, 9.0), (0, 1.0)]).unwrap();
+        assert!(t.is_sparse());
+        assert_eq!(t.get(&[0, 0]).unwrap(), ScalarValue::F64(1.0));
+        assert_eq!(t.get(&[1, 1]).unwrap(), ScalarValue::F64(9.0));
+        assert_eq!(t.get(&[0, 2]).unwrap(), ScalarValue::F64(0.0));
+        assert!(BasicTensorBlock::sparse_f64(vec![2, 2], vec![(4, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn matrix_round_trip_dense_and_sparse() {
+        let m = crate::kernels::gen::rand_uniform(5, 4, -1.0, 1.0, 1.0, 81);
+        let t = BasicTensorBlock::from_matrix(&m);
+        assert_eq!(t.dims(), &[5, 4]);
+        assert!(t.to_matrix().unwrap().approx_eq(&m, 0.0));
+
+        let s = crate::kernels::gen::rand_uniform(10, 10, -1.0, 1.0, 0.1, 82).compact();
+        let ts = BasicTensorBlock::from_matrix(&s);
+        assert!(ts.is_sparse());
+        assert!(ts.to_matrix().unwrap().approx_eq(&s, 0.0));
+    }
+
+    #[test]
+    fn reshape_preserves_linear_order() {
+        let t = BasicTensorBlock::from_f64(vec![2, 3], (0..6).map(|x| x as f64).collect()).unwrap();
+        let r = t.reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.get(&[0, 1]).unwrap(), ScalarValue::F64(1.0));
+        assert_eq!(r.get(&[2, 0]).unwrap(), ScalarValue::F64(4.0));
+        assert!(t.reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn slice_dim0_of_3d_tensor() {
+        let t =
+            BasicTensorBlock::from_f64(vec![4, 2, 2], (0..16).map(|x| x as f64).collect()).unwrap();
+        let s = t.slice_dim0(1, 3).unwrap();
+        assert_eq!(s.dims(), &[2, 2, 2]);
+        assert_eq!(s.get(&[0, 0, 0]).unwrap(), ScalarValue::F64(4.0));
+        assert_eq!(s.get(&[1, 1, 1]).unwrap(), ScalarValue::F64(11.0));
+        assert!(t.slice_dim0(3, 5).is_err());
+    }
+
+    #[test]
+    fn map_f64_applies() {
+        let t = BasicTensorBlock::from_f64(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let sq = t.map_f64(|v| v * v).unwrap();
+        assert_eq!(sq.f64_values().unwrap(), vec![1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn string_conversion_errors_surface() {
+        let mut t = BasicTensorBlock::zeros(ValueType::String, vec![1, 1]);
+        t.set(&[0, 0], ScalarValue::Str("not-a-number".into()))
+            .unwrap();
+        assert!(t.f64_values().is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Heterogeneous tensor blocks: a schema on the second dimension.
+//!
+//! A `DataTensorBlock` generalizes 2-D datasets (paper Figure 4(a)): along
+//! dimension 1 sits a schema of value types (e.g. sensor readings, flags,
+//! categories), while all other dimensions are homogeneous. Internally it is
+//! "composed of multiple basic tensors for the given schema" — one
+//! [`BasicTensorBlock`] per schema column, each of shape
+//! `[dims[0], 1, dims[2..]]` flattened to `[dims[0], dims[2..]]`.
+
+use super::basic::BasicTensorBlock;
+use sysds_common::{Result, ScalarValue, SysDsError, ValueType};
+
+/// A multi-dimensional array whose second dimension carries a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataTensorBlock {
+    /// Full dimensions; `dims[1] == schema.len()`.
+    dims: Vec<usize>,
+    schema: Vec<ValueType>,
+    /// One basic tensor per schema column with dims `[dims[0], dims[2..]]`.
+    columns: Vec<BasicTensorBlock>,
+}
+
+impl DataTensorBlock {
+    /// Zero-initialized data tensor: `rows x schema.len() (x rest...)`.
+    pub fn zeros(rows: usize, schema: Vec<ValueType>, rest: &[usize]) -> DataTensorBlock {
+        let mut dims = Vec::with_capacity(2 + rest.len());
+        dims.push(rows);
+        dims.push(schema.len());
+        dims.extend_from_slice(rest);
+        let col_dims: Vec<usize> = std::iter::once(rows).chain(rest.iter().copied()).collect();
+        let columns = schema
+            .iter()
+            .map(|&vt| BasicTensorBlock::zeros(vt, col_dims.clone()))
+            .collect();
+        DataTensorBlock {
+            dims,
+            schema,
+            columns,
+        }
+    }
+
+    /// Build from per-column basic tensors; all columns must share dims.
+    pub fn from_columns(columns: Vec<BasicTensorBlock>) -> Result<DataTensorBlock> {
+        let first = columns
+            .first()
+            .ok_or_else(|| SysDsError::runtime("data tensor needs at least one column"))?;
+        let col_dims = first.dims().to_vec();
+        for c in &columns {
+            if c.dims() != col_dims.as_slice() {
+                return Err(SysDsError::runtime(
+                    "data tensor columns must share dimensions",
+                ));
+            }
+        }
+        let schema = columns.iter().map(|c| c.value_type()).collect();
+        let mut dims = Vec::with_capacity(col_dims.len() + 1);
+        dims.push(col_dims[0]);
+        dims.push(columns.len());
+        dims.extend_from_slice(&col_dims[1..]);
+        Ok(DataTensorBlock {
+            dims,
+            schema,
+            columns,
+        })
+    }
+
+    /// Full dimensions including the schema dimension.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The per-column schema.
+    pub fn schema(&self) -> &[ValueType] {
+        &self.schema
+    }
+
+    /// Number of rows (size of dimension 0).
+    pub fn rows(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Number of schema columns (size of dimension 1).
+    pub fn num_columns(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Borrow one column's basic tensor.
+    pub fn column(&self, c: usize) -> Result<&BasicTensorBlock> {
+        self.columns
+            .get(c)
+            .ok_or_else(|| SysDsError::IndexOutOfBounds {
+                msg: format!("column {c} of {}", self.schema.len()),
+            })
+    }
+
+    /// Cell read: `index` addresses the full dims (schema axis included).
+    pub fn get(&self, index: &[usize]) -> Result<ScalarValue> {
+        let (c, inner) = self.split_index(index)?;
+        self.columns[c].get(&inner)
+    }
+
+    /// Cell write with the column's value type coercion.
+    pub fn set(&mut self, index: &[usize], value: ScalarValue) -> Result<()> {
+        let (c, inner) = self.split_index(index)?;
+        self.columns[c].set(&inner, value)
+    }
+
+    fn split_index(&self, index: &[usize]) -> Result<(usize, Vec<usize>)> {
+        if index.len() != self.dims.len() {
+            return Err(SysDsError::IndexOutOfBounds {
+                msg: format!(
+                    "{}-d index into {}-d data tensor",
+                    index.len(),
+                    self.dims.len()
+                ),
+            });
+        }
+        let c = index[1];
+        if c >= self.schema.len() {
+            return Err(SysDsError::IndexOutOfBounds {
+                msg: format!("schema column {c} of {}", self.schema.len()),
+            });
+        }
+        let mut inner = Vec::with_capacity(index.len() - 1);
+        inner.push(index[0]);
+        inner.extend_from_slice(&index[2..]);
+        Ok((c, inner))
+    }
+
+    /// Convert all numeric columns to one dense FP64 basic tensor
+    /// (the bridge from data integration into linear algebra).
+    pub fn to_basic_f64(&self) -> Result<BasicTensorBlock> {
+        let rows = self.rows();
+        let inner: usize = self.dims[2..].iter().product::<usize>().max(1);
+        let ncol = self.num_columns();
+        let mut data = vec![0.0f64; rows * ncol * inner];
+        for (c, col) in self.columns.iter().enumerate() {
+            let vals = col.f64_values()?;
+            // Column c's cell (r, rest...) goes to offset ((r*ncol)+c)*inner + rest.
+            for (lin, &v) in vals.iter().enumerate() {
+                let r = lin / inner;
+                let rest = lin % inner;
+                data[(r * ncol + c) * inner + rest] = v;
+            }
+        }
+        BasicTensorBlock::from_f64(self.dims.clone(), data)
+    }
+
+    /// Estimated in-memory size in bytes.
+    pub fn in_memory_size(&self) -> usize {
+        64 + self
+            .columns
+            .iter()
+            .map(|c| c.in_memory_size())
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataTensorBlock {
+        // 3 rows, schema [fp64, string, boolean]
+        let mut t = DataTensorBlock::zeros(
+            3,
+            vec![ValueType::Fp64, ValueType::String, ValueType::Boolean],
+            &[],
+        );
+        t.set(&[0, 0], ScalarValue::F64(1.5)).unwrap();
+        t.set(&[0, 1], ScalarValue::Str("red".into())).unwrap();
+        t.set(&[0, 2], ScalarValue::Bool(true)).unwrap();
+        t.set(&[2, 0], ScalarValue::F64(-2.0)).unwrap();
+        t
+    }
+
+    #[test]
+    fn schema_on_second_dimension() {
+        let t = sample();
+        assert_eq!(t.dims(), &[3, 3]);
+        assert_eq!(
+            t.schema(),
+            &[ValueType::Fp64, ValueType::String, ValueType::Boolean]
+        );
+    }
+
+    #[test]
+    fn heterogeneous_get_set() {
+        let t = sample();
+        assert_eq!(t.get(&[0, 0]).unwrap(), ScalarValue::F64(1.5));
+        assert_eq!(t.get(&[0, 1]).unwrap(), ScalarValue::Str("red".into()));
+        assert_eq!(t.get(&[0, 2]).unwrap(), ScalarValue::Bool(true));
+        assert_eq!(t.get(&[1, 1]).unwrap(), ScalarValue::Str(String::new()));
+        assert!(t.get(&[0, 3]).is_err());
+        assert!(t.get(&[3, 0]).is_err());
+    }
+
+    #[test]
+    fn type_coercion_on_write() {
+        let mut t = sample();
+        // Writing a number into the boolean column coerces.
+        t.set(&[1, 2], ScalarValue::F64(1.0)).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), ScalarValue::Bool(true));
+    }
+
+    #[test]
+    fn from_columns_validates_dims() {
+        let a = BasicTensorBlock::zeros(ValueType::Fp64, vec![2, 2]);
+        let b = BasicTensorBlock::zeros(ValueType::Int64, vec![3, 2]);
+        assert!(DataTensorBlock::from_columns(vec![a.clone(), b]).is_err());
+        let c = BasicTensorBlock::zeros(ValueType::Int64, vec![2, 2]);
+        let t = DataTensorBlock::from_columns(vec![a, c]).unwrap();
+        // column dims [2,2] -> data tensor dims [2, 2 cols, 2]
+        assert_eq!(t.dims(), &[2, 2, 2]);
+        assert!(DataTensorBlock::from_columns(vec![]).is_err());
+    }
+
+    #[test]
+    fn three_dimensional_data_tensor() {
+        // 2 appliances x 2 features x 3 time steps (paper Figure 4(a)).
+        let mut t = DataTensorBlock::zeros(2, vec![ValueType::Fp64, ValueType::Int64], &[3]);
+        t.set(&[1, 0, 2], ScalarValue::F64(7.5)).unwrap();
+        t.set(&[1, 1, 2], ScalarValue::I64(9)).unwrap();
+        assert_eq!(t.get(&[1, 0, 2]).unwrap(), ScalarValue::F64(7.5));
+        assert_eq!(t.get(&[1, 1, 2]).unwrap(), ScalarValue::I64(9));
+        assert_eq!(t.dims(), &[2, 2, 3]);
+    }
+
+    #[test]
+    fn to_basic_f64_interleaves_columns() {
+        let mut t = DataTensorBlock::zeros(2, vec![ValueType::Fp64, ValueType::Int64], &[]);
+        t.set(&[0, 0], ScalarValue::F64(1.0)).unwrap();
+        t.set(&[0, 1], ScalarValue::I64(2)).unwrap();
+        t.set(&[1, 0], ScalarValue::F64(3.0)).unwrap();
+        t.set(&[1, 1], ScalarValue::I64(4)).unwrap();
+        let b = t.to_basic_f64().unwrap();
+        assert_eq!(b.dims(), &[2, 2]);
+        assert_eq!(b.f64_values().unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn to_basic_f64_fails_on_non_numeric_strings() {
+        let t = sample();
+        assert!(t.to_basic_f64().is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! The heterogeneous tensor data model (paper §2.4).
+//!
+//! * [`BasicTensorBlock`] — a linearized, multi-dimensional array of a
+//!   single [`ValueType`](sysds_common::ValueType) with dense and sparse (COO) storage.
+//! * [`DataTensorBlock`] — a tensor with a schema on the second dimension,
+//!   internally composed of one basic tensor per schema column.
+
+mod basic;
+mod data;
+pub mod ops;
+
+pub use basic::{BasicTensorBlock, TensorStorage};
+pub use data::DataTensorBlock;

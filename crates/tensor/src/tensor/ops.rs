@@ -1,0 +1,212 @@
+//! Element-wise and aggregation operations over n-dimensional tensor
+//! blocks — "a common TensorBlock operation library" (paper §2.3 (4)) for
+//! data beyond two dimensions.
+
+use super::basic::BasicTensorBlock;
+use crate::kernels::{AggFn, BinaryOp, UnaryOp};
+use sysds_common::{Result, SysDsError};
+
+/// Element-wise binary op between two tensors of identical dimensions
+/// (numeric value types; output is dense FP64).
+pub fn binary(
+    op: BinaryOp,
+    a: &BasicTensorBlock,
+    b: &BasicTensorBlock,
+) -> Result<BasicTensorBlock> {
+    if a.dims() != b.dims() {
+        return Err(SysDsError::runtime(format!(
+            "tensor binary {}: dims {:?} vs {:?}",
+            op.opcode(),
+            a.dims(),
+            b.dims()
+        )));
+    }
+    let av = a.f64_values()?;
+    let bv = b.f64_values()?;
+    let data = av.iter().zip(&bv).map(|(&x, &y)| op.apply(x, y)).collect();
+    BasicTensorBlock::from_f64(a.dims().to_vec(), data)
+}
+
+/// Element-wise binary op with a scalar on the right.
+pub fn binary_scalar(op: BinaryOp, a: &BasicTensorBlock, s: f64) -> Result<BasicTensorBlock> {
+    a.map_f64(|v| op.apply(v, s))
+}
+
+/// Element-wise unary op.
+pub fn unary(op: UnaryOp, a: &BasicTensorBlock) -> Result<BasicTensorBlock> {
+    a.map_f64(|v| op.apply(v))
+}
+
+/// Full aggregation over all cells.
+pub fn aggregate(f: AggFn, a: &BasicTensorBlock) -> Result<f64> {
+    let v = a.f64_values()?;
+    let n = v.len() as f64;
+    if v.is_empty() && !matches!(f, AggFn::Sum | AggFn::SumSq) {
+        return Err(SysDsError::runtime("aggregation over empty tensor"));
+    }
+    Ok(match f {
+        AggFn::Sum => v.iter().sum(),
+        AggFn::SumSq => v.iter().map(|x| x * x).sum(),
+        AggFn::Mean => v.iter().sum::<f64>() / n,
+        AggFn::Min => v.iter().copied().fold(f64::INFINITY, f64::min),
+        AggFn::Max => v.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        AggFn::Var => {
+            let mean = v.iter().sum::<f64>() / n;
+            v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0).max(1.0)
+        }
+        AggFn::Sd => aggregate(AggFn::Var, a)?.sqrt(),
+    })
+}
+
+/// Aggregate along one axis, reducing that dimension away. Returns a
+/// tensor whose dims are the input's dims with `axis` removed (rank-1
+/// results keep a single dimension).
+pub fn aggregate_axis(f: AggFn, a: &BasicTensorBlock, axis: usize) -> Result<BasicTensorBlock> {
+    let dims = a.dims().to_vec();
+    if axis >= dims.len() {
+        return Err(SysDsError::IndexOutOfBounds {
+            msg: format!("axis {axis} of a {}-d tensor", dims.len()),
+        });
+    }
+    if !matches!(f, AggFn::Sum | AggFn::Mean | AggFn::Min | AggFn::Max) {
+        return Err(SysDsError::runtime(
+            "axis aggregation supports sum/mean/min/max",
+        ));
+    }
+    let values = a.f64_values()?;
+    // Decompose linear offsets as (outer, axis, inner).
+    let axis_len = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product::<usize>().max(1);
+    let outer: usize = dims[..axis].iter().product::<usize>().max(1);
+    let mut out_dims: Vec<usize> = dims.clone();
+    out_dims.remove(axis);
+    if out_dims.is_empty() {
+        out_dims.push(1);
+    }
+    let mut out = vec![
+        match f {
+            AggFn::Min => f64::INFINITY,
+            AggFn::Max => f64::NEG_INFINITY,
+            _ => 0.0,
+        };
+        outer * inner
+    ];
+    for o in 0..outer {
+        for k in 0..axis_len {
+            for i in 0..inner {
+                let v = values[(o * axis_len + k) * inner + i];
+                let dst = &mut out[o * inner + i];
+                match f {
+                    AggFn::Sum | AggFn::Mean => *dst += v,
+                    AggFn::Min => *dst = dst.min(v),
+                    AggFn::Max => *dst = dst.max(v),
+                    _ => unreachable!("filtered above"),
+                }
+            }
+        }
+    }
+    if f == AggFn::Mean {
+        for v in &mut out {
+            *v /= axis_len as f64;
+        }
+    }
+    BasicTensorBlock::from_f64(out_dims, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t3(d0: usize, d1: usize, d2: usize) -> BasicTensorBlock {
+        let n = d0 * d1 * d2;
+        BasicTensorBlock::from_f64(vec![d0, d1, d2], (0..n).map(|x| x as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn binary_same_dims() {
+        let a = t3(2, 3, 2);
+        let b = t3(2, 3, 2);
+        let s = binary(BinaryOp::Add, &a, &b).unwrap();
+        assert_eq!(s.f64_values().unwrap()[5], 10.0);
+        let mismatch = t3(3, 2, 2);
+        assert!(binary(BinaryOp::Add, &a, &mismatch).is_err());
+    }
+
+    #[test]
+    fn scalar_and_unary_ops() {
+        let a = t3(2, 2, 2);
+        let doubled = binary_scalar(BinaryOp::Mul, &a, 2.0).unwrap();
+        assert_eq!(doubled.f64_values().unwrap()[3], 6.0);
+        let neg = unary(UnaryOp::Neg, &a).unwrap();
+        assert_eq!(neg.f64_values().unwrap()[1], -1.0);
+    }
+
+    #[test]
+    fn full_aggregates() {
+        let a = t3(2, 2, 2); // 0..8
+        assert_eq!(aggregate(AggFn::Sum, &a).unwrap(), 28.0);
+        assert_eq!(aggregate(AggFn::Mean, &a).unwrap(), 3.5);
+        assert_eq!(aggregate(AggFn::Min, &a).unwrap(), 0.0);
+        assert_eq!(aggregate(AggFn::Max, &a).unwrap(), 7.0);
+        assert_eq!(aggregate(AggFn::SumSq, &a).unwrap(), 140.0);
+    }
+
+    #[test]
+    fn axis_sum_matches_manual() {
+        // dims [2, 3, 2]: summing axis 1 collapses the middle dimension.
+        let a = t3(2, 3, 2);
+        let s = aggregate_axis(AggFn::Sum, &a, 1).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        // out[0, 0] = a[0,0,0] + a[0,1,0] + a[0,2,0] = 0 + 2 + 4
+        assert_eq!(s.f64_values().unwrap(), vec![6.0, 9.0, 24.0, 27.0]);
+    }
+
+    #[test]
+    fn axis_mean_min_max() {
+        let a = t3(2, 2, 2);
+        let m = aggregate_axis(AggFn::Mean, &a, 0).unwrap();
+        assert_eq!(m.dims(), &[2, 2]);
+        assert_eq!(m.f64_values().unwrap(), vec![2.0, 3.0, 4.0, 5.0]);
+        let mn = aggregate_axis(AggFn::Min, &a, 2).unwrap();
+        assert_eq!(mn.f64_values().unwrap(), vec![0.0, 2.0, 4.0, 6.0]);
+        let mx = aggregate_axis(AggFn::Max, &a, 2).unwrap();
+        assert_eq!(mx.f64_values().unwrap(), vec![1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn axis_validation() {
+        let a = t3(2, 2, 2);
+        assert!(aggregate_axis(AggFn::Sum, &a, 3).is_err());
+        assert!(aggregate_axis(AggFn::Var, &a, 0).is_err());
+    }
+
+    #[test]
+    fn rank_one_result_keeps_a_dimension() {
+        let v = BasicTensorBlock::from_f64(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let s = aggregate_axis(AggFn::Sum, &v, 0).unwrap();
+        assert_eq!(s.dims(), &[1]);
+        assert_eq!(s.f64_values().unwrap(), vec![10.0]);
+    }
+
+    #[test]
+    fn consistency_with_matrix_ops_on_2d() {
+        // The same computation through the Matrix path and the tensor path
+        // must agree ("ensures consistency across local and distributed
+        // operations" extends to the data model bridge).
+        let m = crate::kernels::gen::rand_uniform(6, 5, -1.0, 1.0, 1.0, 1201);
+        let t = BasicTensorBlock::from_matrix(&m);
+        let tm = aggregate(AggFn::Sum, &t).unwrap();
+        let mm = crate::kernels::aggregate::aggregate_full(AggFn::Sum, &m).unwrap();
+        assert!((tm - mm).abs() < 1e-9);
+        let col_sum_t = aggregate_axis(AggFn::Sum, &t, 0).unwrap();
+        let col_sum_m = crate::kernels::aggregate::aggregate_axis(
+            AggFn::Sum,
+            crate::kernels::Direction::Col,
+            &m,
+        )
+        .unwrap();
+        for j in 0..5 {
+            assert!((col_sum_t.f64_values().unwrap()[j] - col_sum_m.get(0, j)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: train a ridge-regression model with a declarative DML
+//! script and inspect the result.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use sysds::api::SystemDS;
+
+fn main() -> sysds::Result<()> {
+    let mut sds = SystemDS::new();
+    sds.echo_stdout(true);
+
+    // A full DML script: generate data, train with the lmDS builtin
+    // (paper Figure 2), and evaluate training error.
+    let out = sds.execute(
+        r#"
+        # synthetic regression problem
+        X = rand(rows=1000, cols=10, min=0, max=1, seed=42)
+        w = rand(rows=10, cols=1, min=-1, max=1, seed=43)
+        y = X %*% w + 0.01 * rand(rows=1000, cols=1, min=-1, max=1, seed=44)
+
+        # declarative model training: the compiler fuses t(X)%*%X into a
+        # single tsmm instruction and picks local vs distributed operators
+        B = lmDS(X=X, y=y, reg=0.001)
+
+        # evaluation
+        yhat = lmPredict(X=X, B=B)
+        err = mse(yhat=yhat, y=y)
+        print("training mse: " + err)
+        print("first coefficient: " + as.scalar(B[1, 1]))
+        "#,
+        &[],
+        &["B", "err"],
+    )?;
+
+    let b = out.matrix("B")?;
+    println!("model shape: {}x{}", b.rows(), b.cols());
+    println!("mse from Rust: {:.6}", out.f64("err")?);
+    assert!(
+        out.f64("err")? < 1e-3,
+        "the model must fit the synthetic data"
+    );
+    Ok(())
+}

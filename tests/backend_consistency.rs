@@ -1,0 +1,178 @@
+#![allow(clippy::field_reassign_with_default)]
+
+//! "Besides reuse, this approach also ensures consistency across local and
+//! distributed operations" (paper §2.3 (4)) — the same script must produce
+//! the same result on the CP backend, the simulated distributed backend
+//! (forced by a tiny memory budget), and over federated inputs.
+
+use sysds::api::SystemDS;
+use sysds::Data;
+use sysds_common::EngineConfig;
+use sysds_tensor::kernels::gen;
+
+fn local_session() -> SystemDS {
+    let mut config = EngineConfig::default();
+    config.spill_dir = std::env::temp_dir().join("sysds-backend-tests");
+    SystemDS::with_config(config).unwrap()
+}
+
+fn dist_session() -> SystemDS {
+    // A tiny memory budget pushes every sizeable operation to the
+    // distributed backend; a small block size exercises tiling.
+    let mut config = EngineConfig::default().budget(4 * 1024);
+    config.block_size = 32;
+    config.spill_dir = std::env::temp_dir().join("sysds-backend-tests");
+    SystemDS::with_config(config).unwrap()
+}
+
+const SCRIPT: &str = r#"
+    G = t(X) %*% X
+    s = sum(G)
+    P = X %*% B
+    E = (P - y) * (P - y)
+    err = sum(E)
+"#;
+
+#[test]
+fn local_and_distributed_agree() {
+    let (x, y) = gen::synthetic_regression(150, 12, 1.0, 0.1, 801);
+    let b = gen::rand_uniform(12, 1, -1.0, 1.0, 1.0, 802);
+    let inputs = vec![
+        ("X", Data::from_matrix(x)),
+        ("y", Data::from_matrix(y)),
+        ("B", Data::from_matrix(b)),
+    ];
+    let mut local = local_session();
+    let lout = local.execute(SCRIPT, &inputs, &["G", "s", "err"]).unwrap();
+    let mut dist = dist_session();
+    let dout = dist.execute(SCRIPT, &inputs, &["G", "s", "err"]).unwrap();
+    assert!(lout
+        .matrix("G")
+        .unwrap()
+        .approx_eq(&dout.matrix("G").unwrap(), 1e-8));
+    assert!((lout.f64("s").unwrap() - dout.f64("s").unwrap()).abs() < 1e-6);
+    assert!((lout.f64("err").unwrap() - dout.f64("err").unwrap()).abs() < 1e-6);
+}
+
+#[test]
+fn sparse_script_on_both_backends() {
+    let x = gen::rand_uniform(200, 30, -1.0, 1.0, 0.1, 803).compact();
+    assert!(x.is_sparse());
+    let inputs = vec![("X", Data::from_matrix(x))];
+    let script = "G = t(X) %*% X\ntotal = sum(G)";
+    let mut local = local_session();
+    let mut dist = dist_session();
+    let l = local.execute(script, &inputs, &["total"]).unwrap();
+    let d = dist.execute(script, &inputs, &["total"]).unwrap();
+    assert!((l.f64("total").unwrap() - d.f64("total").unwrap()).abs() < 1e-7);
+}
+
+#[test]
+fn federated_tsmm_inside_script_matches_local() {
+    let (x, _) = gen::synthetic_regression(120, 8, 1.0, 0.0, 804);
+    let mut s = local_session();
+    let fed = s.federate(&x, 3).unwrap();
+    let script = "G = t(X) %*% X";
+    let fout = s.execute(script, &[("X", fed)], &["G"]).unwrap();
+    let lout = s
+        .execute(script, &[("X", Data::from_matrix(x))], &["G"])
+        .unwrap();
+    assert!(fout
+        .matrix("G")
+        .unwrap()
+        .approx_eq(&lout.matrix("G").unwrap(), 1e-9));
+}
+
+#[test]
+fn federated_lm_via_script_matches_local_lm() {
+    let (x, y) = gen::synthetic_regression(100, 5, 1.0, 0.05, 805);
+    let mut s = local_session();
+    // X and y must live on the SAME worker set so federated instructions
+    // can combine them site-locally (t(X_i) y_i never moves rows).
+    let mut fed = s.federate_many(&[&x, &y], 2).unwrap();
+    let fy = fed.pop().unwrap();
+    let fx = fed.pop().unwrap();
+    let script = "B = lmDS(X=X, y=y, reg=0.001)";
+    let fout = s.execute(script, &[("X", fx), ("y", fy)], &["B"]).unwrap();
+    let lout = s
+        .execute(
+            script,
+            &[("X", Data::from_matrix(x)), ("y", Data::from_matrix(y))],
+            &["B"],
+        )
+        .unwrap();
+    assert!(fout
+        .matrix("B")
+        .unwrap()
+        .approx_eq(&lout.matrix("B").unwrap(), 1e-7));
+}
+
+#[test]
+fn federated_scalar_and_colsums_ops() {
+    let (x, _) = gen::synthetic_regression(60, 4, 1.0, 0.0, 806);
+    let mut s = local_session();
+    let fed = s.federate(&x, 3).unwrap();
+    let script = r#"
+        Z = X * 2
+        cs = colSums(Z)
+        total = sum(Z)
+    "#;
+    let fout = s.execute(script, &[("X", fed)], &["cs", "total"]).unwrap();
+    let lout = s
+        .execute(script, &[("X", Data::from_matrix(x))], &["cs", "total"])
+        .unwrap();
+    assert!(fout
+        .matrix("cs")
+        .unwrap()
+        .approx_eq(&lout.matrix("cs").unwrap(), 1e-9));
+    assert!((fout.f64("total").unwrap() - lout.f64("total").unwrap()).abs() < 1e-9);
+}
+
+#[test]
+fn paramserver_matches_closed_form() {
+    use sysds::runtime::paramserver::{train_linreg, PsConfig, UpdateMode};
+    let (x, y) = gen::synthetic_regression(250, 4, 1.0, 0.0, 807);
+    let w = train_linreg(
+        &x,
+        &y,
+        &PsConfig {
+            workers: 4,
+            epochs: 400,
+            batch_size: 32,
+            learning_rate: 0.5,
+            mode: UpdateMode::Bsp,
+        },
+    )
+    .unwrap();
+    // closed form through a DML script on the same session
+    let mut s = local_session();
+    let out = s
+        .execute(
+            "B = lmDS(X=X, y=y, reg=0.0)",
+            &[("X", Data::from_matrix(x)), ("y", Data::from_matrix(y))],
+            &["B"],
+        )
+        .unwrap();
+    assert!(w.approx_eq(&out.matrix("B").unwrap(), 5e-2));
+}
+
+#[test]
+fn buffer_pool_pressure_does_not_change_results() {
+    // A tiny buffer pool forces eviction/restore cycles mid-script.
+    let mut config = EngineConfig::default();
+    config.buffer_pool_limit = 64 * 1024; // 64 KB
+    config.spill_dir = std::env::temp_dir().join("sysds-backend-tests-pool");
+    let mut tight = SystemDS::with_config(config).unwrap();
+    let mut roomy = local_session();
+    let script = r#"
+        A = rand(rows=200, cols=60, seed=5)
+        B = rand(rows=60, cols=50, seed=6)
+        C = A %*% B
+        D = t(C) %*% C
+        total = sum(D)
+    "#;
+    let t = tight.execute(script, &[], &["total"]).unwrap();
+    let r = roomy.execute(script, &[], &["total"]).unwrap();
+    let (tv, rv) = (t.f64("total").unwrap(), r.f64("total").unwrap());
+    assert!((tv - rv).abs() < 1e-9 * rv.abs().max(1.0), "{tv} vs {rv}");
+}

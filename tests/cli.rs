@@ -1,0 +1,109 @@
+//! Integration tests for the `sysds` command-line launcher.
+
+use std::process::Command;
+
+fn sysds_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sysds")
+}
+
+fn write_script(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sysds-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{name}-{}.dml", std::process::id()));
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+#[test]
+fn runs_a_script_and_prints() {
+    let p = write_script("hello", r#"print("hello from dml: " + (2 + 3))"#);
+    let out = Command::new(sysds_bin())
+        .args(["run", p.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hello from dml: 5"));
+}
+
+#[test]
+fn argument_substitution() {
+    let p = write_script("args", r#"print("n = " + sum(matrix(1, rows=$N, cols=1)))"#);
+    let out = Command::new(sysds_bin())
+        .args(["run", p.to_str().unwrap(), "--arg", "N=7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("n = 7"));
+}
+
+#[test]
+fn stats_and_explain_flags() {
+    let p = write_script(
+        "stats",
+        r#"
+        X = rand(rows=200, cols=20, seed=1)
+        y = rand(rows=200, cols=1, seed=2)
+        for (i in 1:3) { B = lmDS(X=X, y=y, reg=0.001 * i) }
+        "#,
+    );
+    let out = Command::new(sysds_bin())
+        .args([
+            "run",
+            p.to_str().unwrap(),
+            "--reuse",
+            "--stats",
+            "--explain",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("compiled program"), "{err}");
+    assert!(err.contains("lineage cache"), "{err}");
+}
+
+#[test]
+fn script_errors_set_exit_code() {
+    let p = write_script("bad", "x = undefined_variable + 1");
+    let out = Command::new(sysds_bin())
+        .args(["run", p.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("undefined_variable"));
+}
+
+#[test]
+fn missing_script_reported() {
+    let out = Command::new(sysds_bin())
+        .args(["run", "/nonexistent/script.dml"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn usage_on_bad_invocation() {
+    let out = Command::new(sysds_bin())
+        .arg("frobnicate")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn stop_statement_exit_code() {
+    let p = write_script("stop", r#"stop("refusing to continue")"#);
+    let out = Command::new(sysds_bin())
+        .args(["run", p.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("refusing to continue"));
+}
