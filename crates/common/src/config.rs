@@ -43,6 +43,11 @@ pub struct EngineConfig {
     pub block_size: usize,
     /// Enable dynamic recompilation of blocks with unknown sizes.
     pub dynamic_recompile: bool,
+    /// Collect runtime statistics (heavy hitters, counters) for reporting.
+    pub stats: bool,
+    /// When set, append one JSONL span record per instrumented region to
+    /// this file.
+    pub trace_file: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +66,8 @@ impl Default for EngineConfig {
             native_blas: false,
             block_size: 1024,
             dynamic_recompile: true,
+            stats: false,
+            trace_file: None,
         }
     }
 }
@@ -102,6 +109,18 @@ impl EngineConfig {
         }
         self
     }
+
+    /// Builder-style setter for statistics collection (`--stats`).
+    pub fn stats(mut self, enabled: bool) -> Self {
+        self.stats = enabled;
+        self
+    }
+
+    /// Builder-style setter for JSONL span tracing (`--trace FILE`).
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_file = Some(path.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +160,18 @@ mod tests {
     #[test]
     fn threads_clamped_to_one() {
         assert_eq!(EngineConfig::default().threads(0).num_threads, 1);
+    }
+
+    #[test]
+    fn stats_and_trace_builders() {
+        let c = EngineConfig::default();
+        assert!(!c.stats);
+        assert!(c.trace_file.is_none());
+        let c = c.stats(true).trace("/tmp/out.jsonl");
+        assert!(c.stats);
+        assert_eq!(
+            c.trace_file.as_deref(),
+            Some(std::path::Path::new("/tmp/out.jsonl"))
+        );
     }
 }

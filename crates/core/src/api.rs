@@ -118,6 +118,31 @@ impl SystemDS {
         self.ctx.cache.stats()
     }
 
+    /// Snapshot the session's runtime statistics: instruction heavy
+    /// hitters, compiler-phase times, buffer-pool / parfor / federated
+    /// counters, and lineage-cache stats. Only populated when the engine
+    /// config enabled `stats` (or [`sysds_obs::enable_stats`] was called).
+    pub fn run_report(&self) -> RunReport {
+        use sysds_obs::Phase;
+        let compiler_phases = [
+            Phase::Parse,
+            Phase::HopBuild,
+            Phase::Rewrite,
+            Phase::SizeProp,
+            Phase::Lower,
+            Phase::Recompile,
+        ]
+        .into_iter()
+        .filter_map(sysds_obs::report::phase_summary)
+        .collect();
+        RunReport {
+            heavy_hitters: sysds_obs::registry::heavy_hitters(Phase::Instruction, 10),
+            compiler_phases,
+            counters: sysds_obs::counters().snapshot(),
+            cache: self.ctx.cache.stats(),
+        }
+    }
+
     /// Clear the lineage reuse cache.
     pub fn clear_cache(&self) {
         self.ctx.cache.clear();
@@ -125,8 +150,15 @@ impl SystemDS {
 
     /// Compile a script (exposed for inspection and tests).
     pub fn compile(&self, script: &str) -> Result<Arc<CompiledProgram>> {
-        let ast = parse_program(script)?;
-        Ok(Arc::new(compile_program(&ast, &builtins::resolve)?))
+        let ast = {
+            let _span = sysds_obs::Span::enter(sysds_obs::Phase::Parse, "parse");
+            parse_program(script)?
+        };
+        let program = {
+            let _span = sysds_obs::Span::enter(sysds_obs::Phase::HopBuild, "hop_build");
+            compile_program(&ast, &builtins::resolve)?
+        };
+        Ok(Arc::new(program))
     }
 
     /// Compile and execute a script with in-memory `inputs`, returning the
@@ -240,6 +272,70 @@ impl SystemDS {
     }
 }
 
+/// Structured runtime-statistics report — the data behind the CLI's
+/// `--stats` output, exposed so embedders can inspect it programmatically.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Top instruction opcodes by cumulative execution time.
+    pub heavy_hitters: Vec<sysds_obs::HeavyHitter>,
+    /// One summary line per compiler phase that recorded any time.
+    pub compiler_phases: Vec<String>,
+    /// Global runtime counters (buffer pool, parfor, federated, recompiles).
+    pub counters: sysds_obs::CounterSnapshot,
+    /// Lineage-cache statistics for this session.
+    pub cache: CacheStats,
+}
+
+impl RunReport {
+    /// Render the full human-readable report printed by `sysds --stats`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("Heavy hitter instructions:\n");
+        if self.heavy_hitters.is_empty() {
+            out.push_str("  (none recorded)\n");
+        } else {
+            out.push_str(&sysds_obs::report::render_table(&self.heavy_hitters));
+        }
+        if !self.compiler_phases.is_empty() {
+            out.push_str("Compiler phases:\n");
+            for line in &self.compiler_phases {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        let c = &self.counters;
+        let _ = writeln!(
+            out,
+            "Buffer pool: {} evictions ({} bytes spilled), {} restores ({} bytes restored)",
+            c.buf_evictions, c.buf_spilled_bytes, c.buf_restores, c.buf_restored_bytes
+        );
+        let _ = writeln!(
+            out,
+            "Lineage cache: {} hits, {} partial, {} misses, {} evictions",
+            self.cache.hits, self.cache.partial_hits, self.cache.misses, self.cache.evictions
+        );
+        if c.parfor_workers > 0 {
+            let _ = writeln!(
+                out,
+                "Parfor: {} workers, {} iterations, {:.3}s cumulative worker time",
+                c.parfor_workers,
+                c.parfor_iters,
+                c.parfor_worker_nanos as f64 / 1e9
+            );
+        }
+        if c.fed_requests > 0 {
+            let _ = writeln!(
+                out,
+                "Federated: {} requests, {:.3}s cumulative round-trip time",
+                c.fed_requests,
+                c.fed_request_nanos as f64 / 1e9
+            );
+        }
+        let _ = writeln!(out, "Recompiles: {}", c.recompiles);
+        out
+    }
+}
+
 /// A pre-compiled script bound to a session context.
 pub struct PreparedScript {
     ctx: Arc<ExecCtx>,
@@ -266,7 +362,10 @@ fn run_program(
         symbols.set(name.to_string(), data.clone(), None);
     }
     let interp = Interpreter::new(ctx.clone(), program.clone());
-    interp.run(&mut symbols)?;
+    {
+        let _span = sysds_obs::Span::enter(sysds_obs::Phase::Execute, "run");
+        interp.run(&mut symbols)?;
+    }
     let mut out = ScriptOutputs {
         stdout: ctx.take_stdout(),
         ..Default::default()
@@ -374,6 +473,22 @@ mod tests {
             ])
             .unwrap();
         assert_eq!(b.f64("y").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn run_report_includes_counter_sections() {
+        let mut config = EngineConfig::default();
+        config.spill_dir = std::env::temp_dir().join("sysds-api-tests");
+        config.stats = true;
+        let mut s = SystemDS::with_config(config).unwrap();
+        s.execute("x = 2 + 3\ny = x * 4", &[], &["y"]).unwrap();
+        let report = s.run_report();
+        assert!(!report.heavy_hitters.is_empty());
+        let text = report.render();
+        assert!(text.contains("Heavy hitter instructions:"));
+        assert!(text.contains("Buffer pool:"));
+        assert!(text.contains("Lineage cache:"));
+        assert!(text.contains("Recompiles:"));
     }
 
     #[test]

@@ -24,7 +24,10 @@ fn usage() -> ! {
            --reuse            enable lineage tracing + full/partial reuse\n\
            --blas             use the optimized (BLAS-like) kernels\n\
            --no-recompile     disable dynamic recompilation\n\
-           --stats            print cache statistics after execution\n\
+           --stats            print heavy-hitter, buffer-pool and cache\n\
+                              statistics after execution\n\
+           --trace FILE       write one JSONL span record per compiler\n\
+                              phase / instruction / worker to FILE\n\
            --explain          print the compiled program structure"
     );
     std::process::exit(2);
@@ -68,7 +71,15 @@ fn main() -> ExitCode {
             "--reuse" => config = config.reuse_policy(ReusePolicy::FullAndPartial),
             "--blas" => config.native_blas = true,
             "--no-recompile" => config.dynamic_recompile = false,
-            "--stats" => stats = true,
+            "--stats" => {
+                stats = true;
+                config.stats = true;
+            }
+            "--trace" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                config.trace_file = Some(path.into());
+            }
             "--explain" => explain = true,
             other => {
                 eprintln!("unknown option '{other}'");
@@ -119,19 +130,18 @@ fn main() -> ExitCode {
         }
     }
 
+    let tracing = sds.config().trace_file.is_some();
     let start = std::time::Instant::now();
-    match sds.execute(&script, &[], &[]) {
+    let result = sds.execute(&script, &[], &[]);
+    if tracing {
+        // Flush and close the JSONL sink so every span record is on disk.
+        sysds_obs::disable_trace();
+    }
+    match result {
         Ok(_) => {
             if stats {
-                let s = sds.cache_stats();
-                eprintln!(
-                    "# elapsed: {:.3}s; lineage cache: {} hits, {} partial, {} misses, {} evictions",
-                    start.elapsed().as_secs_f64(),
-                    s.hits,
-                    s.partial_hits,
-                    s.misses,
-                    s.evictions
-                );
+                eprintln!("# elapsed: {:.3}s", start.elapsed().as_secs_f64());
+                eprint!("{}", sds.run_report().render());
             }
             ExitCode::SUCCESS
         }

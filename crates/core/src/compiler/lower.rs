@@ -60,12 +60,22 @@ pub fn env_fingerprint(block: &BasicBlock, env: &SizeEnv) -> Vec<(String, Option
 
 /// Lower a basic block under the given entry sizes.
 pub fn lower(block: &BasicBlock, env: &SizeEnv, config: &EngineConfig) -> Plan {
+    let _lower_span = sysds_obs::Span::enter(sysds_obs::Phase::Lower, "lower");
     let mut dag = block.dag.clone();
     let roots: Vec<HopId> = block.roots.iter().map(Root::id).collect();
     // Size propagation, dynamic rewrites, re-propagation.
-    propagate(&mut dag, env, config, &roots);
-    rewrites::rewrite_dynamic(&mut dag);
-    let had_unknown = propagate(&mut dag, env, config, &roots);
+    {
+        let _span = sysds_obs::Span::enter(sysds_obs::Phase::SizeProp, "propagate");
+        propagate(&mut dag, env, config, &roots);
+    }
+    {
+        let _span = sysds_obs::Span::enter(sysds_obs::Phase::Rewrite, "dynamic");
+        rewrites::rewrite_dynamic(&mut dag);
+    }
+    let had_unknown = {
+        let _span = sysds_obs::Span::enter(sysds_obs::Phase::SizeProp, "propagate");
+        propagate(&mut dag, env, config, &roots)
+    };
 
     // Topological order from the roots, preserving root order so effects
     // execute in statement order.
@@ -140,6 +150,7 @@ pub fn lower(block: &BasicBlock, env: &SizeEnv, config: &EngineConfig) -> Plan {
 /// initial unknowns").
 pub fn plan_for(block: &BasicBlock, env: &SizeEnv, config: &EngineConfig) -> std::sync::Arc<Plan> {
     let mut guard = block.plan.lock();
+    let mut recompile = false;
     if let Some(plan) = guard.as_ref() {
         if !config.dynamic_recompile {
             return plan.clone();
@@ -147,8 +158,19 @@ pub fn plan_for(block: &BasicBlock, env: &SizeEnv, config: &EngineConfig) -> std
         if !plan.had_unknown && plan.fingerprint == env_fingerprint(block, env) {
             return plan.clone();
         }
+        recompile = true;
     }
-    let plan = std::sync::Arc::new(lower(block, env, config));
+    let plan = if recompile {
+        let _span = sysds_obs::Span::enter(sysds_obs::Phase::Recompile, "recompile");
+        if sysds_obs::stats_enabled() {
+            sysds_obs::counters()
+                .recompiles
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        std::sync::Arc::new(lower(block, env, config))
+    } else {
+        std::sync::Arc::new(lower(block, env, config))
+    };
     *guard = Some(plan.clone());
     plan
 }

@@ -878,6 +878,7 @@ impl DagBuilder {
         let block = b.finish();
         // Static rewrites + DCE happen once per block at compile time.
         let mut block = block;
+        let _span = sysds_obs::Span::enter(sysds_obs::Phase::Rewrite, "static");
         let new_roots = rewrites::rewrite_static(&mut block.dag, &root_ids(&block.roots));
         for (root, &nid) in block.roots.iter_mut().zip(&new_roots) {
             match root {

@@ -61,6 +61,13 @@ struct Inner {
 /// faster to recompute than to cache (SystemML's cost-based admission).
 const MIN_COMPUTE_NANOS: u128 = 50_000; // 50µs
 
+/// Mirror one cache event into the global observability counters.
+fn obs_count(pick: impl Fn(&sysds_obs::Counters) -> &std::sync::atomic::AtomicU64) {
+    if sysds_obs::stats_enabled() {
+        pick(sysds_obs::counters()).fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 impl LineageCache {
     /// Create a cache with the given policy and byte limit.
     pub fn new(policy: ReusePolicy, limit: usize) -> LineageCache {
@@ -94,10 +101,12 @@ impl LineageCache {
                 e.last_access = clock;
                 let v = e.value.clone();
                 inner.stats.hits += 1;
+                obs_count(|c| &c.lin_hits);
                 Some(v)
             }
             None => {
                 inner.stats.misses += 1;
+                obs_count(|c| &c.lin_misses);
                 None
             }
         }
@@ -139,6 +148,7 @@ impl LineageCache {
         let bottom = indexing::cbind(&reorg::transpose(&cross, threads), &corner)?;
         let full = indexing::rbind(&top, &bottom)?;
         self.inner.lock().stats.partial_hits += 1;
+        obs_count(|c| &c.lin_partial_hits);
         Ok(Some(Arc::new(full)))
     }
 
@@ -170,6 +180,7 @@ impl LineageCache {
         let tail = tsmm_k::tmv(&b, y, threads)?;
         let full = indexing::rbind(&tmv_a, &tail)?;
         self.inner.lock().stats.partial_hits += 1;
+        obs_count(|c| &c.lin_partial_hits);
         Ok(Some(Arc::new(full)))
     }
 
@@ -221,6 +232,7 @@ impl LineageCache {
                     if let Some(e) = inner.map.remove(&h) {
                         inner.bytes -= e.bytes;
                         inner.stats.evictions += 1;
+                        obs_count(|c| &c.lin_evictions);
                     }
                 }
                 None => break,

@@ -92,9 +92,16 @@ impl MatrixHandle {
             .disk
             .clone()
             .ok_or_else(|| SysDsError::runtime("matrix handle has neither memory nor disk copy"))?;
+        let _span = sysds_obs::Span::enter(sysds_obs::Phase::BufferPool, "restore");
         let bytes =
             std::fs::read(&path).map_err(|e| SysDsError::io(path.display().to_string(), e))?;
         let m = Arc::new(sysds_io::binary::decode_matrix(&bytes)?);
+        if sysds_obs::stats_enabled() {
+            let c = sysds_obs::counters();
+            c.buf_restores.fetch_add(1, Ordering::Relaxed);
+            c.buf_restored_bytes
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        }
         st.mem = Some(m.clone());
         Ok(m)
     }
@@ -104,13 +111,24 @@ impl MatrixHandle {
         if st.mem.is_none() {
             return Ok(0);
         }
+        let _span = sysds_obs::Span::enter(sysds_obs::Phase::BufferPool, "evict");
         if st.disk.is_none() {
             let path = dir.join(format!("spill-{}.bin", self.id));
             let m = st.mem.as_ref().unwrap();
             let encoded = sysds_io::binary::encode_matrix(m);
             std::fs::write(&path, &encoded)
                 .map_err(|e| SysDsError::io(path.display().to_string(), e))?;
+            if sysds_obs::stats_enabled() {
+                sysds_obs::counters()
+                    .buf_spilled_bytes
+                    .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+            }
             st.disk = Some(path);
+        }
+        if sysds_obs::stats_enabled() {
+            sysds_obs::counters()
+                .buf_evictions
+                .fetch_add(1, Ordering::Relaxed);
         }
         st.mem = None;
         Ok(st.bytes)
@@ -298,6 +316,29 @@ mod tests {
         drop(h);
         let files = std::fs::read_dir(&d).unwrap().count();
         assert_eq!(files, 0, "spill file removed with last handle");
+    }
+
+    #[test]
+    fn eviction_and_restore_update_obs_counters() {
+        sysds_obs::enable_stats();
+        let before = sysds_obs::counters().snapshot();
+        let pool = BufferPool::new(1, dir("obs-counters")).unwrap();
+        let m = gen::rand_uniform(40, 40, -1.0, 1.0, 1.0, 211);
+        let h = pool.register(m.clone()).unwrap();
+        assert!(!h.is_cached(), "limit of 1 byte forces eviction");
+        let back = h.acquire().unwrap();
+        assert!(
+            back.approx_eq(&m, 0.0),
+            "restore must be bit-identical to the spilled data"
+        );
+        // Deltas are `>=` because the counters are global and other tests
+        // in this process may evict concurrently.
+        let after = sysds_obs::counters().snapshot();
+        assert!(after.buf_evictions >= before.buf_evictions + 1);
+        assert!(after.buf_restores >= before.buf_restores + 1);
+        // 40x40 dense f64 payload: well over 10 KB on disk, both ways.
+        assert!(after.buf_spilled_bytes >= before.buf_spilled_bytes + 10_000);
+        assert!(after.buf_restored_bytes >= before.buf_restored_bytes + 10_000);
     }
 
     #[test]

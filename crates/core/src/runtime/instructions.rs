@@ -32,6 +32,13 @@ static SEED_COUNTER: AtomicU64 = AtomicU64::new(0x5D5_0001);
 impl ExecCtx {
     /// Create a context from a configuration.
     pub fn new(config: EngineConfig) -> Result<ExecCtx> {
+        if config.stats {
+            sysds_obs::enable_stats();
+        }
+        if let Some(path) = &config.trace_file {
+            sysds_obs::enable_trace(path)
+                .map_err(|e| SysDsError::runtime(format!("cannot open trace file: {e}")))?;
+        }
         let pool = Arc::new(BufferPool::new(
             config.buffer_pool_limit,
             config.spill_dir.clone(),
@@ -190,9 +197,14 @@ fn execute_op(op: &HopOp, exec: ExecType, inputs: &[&Slot], ctx: &ExecCtx) -> Re
         }
     }
 
-    // 2. Execute.
+    // 2. Execute. The span is inert (one relaxed load) unless `--stats`
+    // or `--trace` is on; the existing Instant keeps feeding the lineage
+    // cache's cost model either way.
     let start = Instant::now();
-    let (data, lineage_override) = dispatch(op, exec, inputs, ctx)?;
+    let (data, lineage_override) = {
+        let _span = sysds_obs::Span::enter_with(sysds_obs::Phase::Instruction, || op.opcode());
+        dispatch(op, exec, inputs, ctx)?
+    };
     let elapsed = start.elapsed().as_nanos();
     if let Some(l) = lineage_override {
         lineage = trace_enabled(ctx).then_some(l);

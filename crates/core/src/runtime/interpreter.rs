@@ -10,6 +10,7 @@ use crate::compiler::lower::{plan_for, Plan};
 use crate::compiler::{BasicBlock, Block, CompiledFunction, CompiledProgram};
 use crate::runtime::instructions::{execute, ExecCtx, Slot};
 use crate::runtime::value::{Data, SymbolTable};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use sysds_common::{Result, ScalarValue, SysDsError};
 use sysds_frame::{TransformEncoder, TransformSpec};
@@ -392,12 +393,27 @@ impl Interpreter {
         let results: Vec<Result<SymbolTable>> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .iter()
-                .map(|chunk| {
+                .enumerate()
+                .map(|(w, chunk)| {
                     let mut local = before.clone();
                     s.spawn(move |_| -> Result<SymbolTable> {
+                        let _worker = sysds_obs::set_worker(w as u64);
+                        let _span =
+                            sysds_obs::Span::enter_with(sysds_obs::Phase::ParforWorker, || {
+                                format!("worker-{w}")
+                            });
+                        let start = std::time::Instant::now();
                         for &v in chunk {
                             local.set(var.to_string(), iter_value(v), None);
                             self.exec_blocks(body, &mut local)?;
+                        }
+                        if sysds_obs::stats_enabled() {
+                            let c = sysds_obs::counters();
+                            c.parfor_workers.fetch_add(1, Ordering::Relaxed);
+                            c.parfor_iters
+                                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                            c.parfor_worker_nanos
+                                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         }
                         Ok(local)
                     })
@@ -405,29 +421,50 @@ impl Interpreter {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("parfor worker panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        Err(SysDsError::runtime(format!(
+                            "parfor worker panicked: {}",
+                            panic_message(p.as_ref())
+                        )))
+                    })
+                })
                 .collect()
         })
-        .expect("parfor scope failed");
+        .map_err(|p| {
+            SysDsError::runtime(format!("parfor failed: {}", panic_message(p.as_ref())))
+        })?;
 
         // Merge: result variables are those that existed before the loop.
         let mut merged: Vec<SymbolTable> = Vec::with_capacity(results.len());
         for r in results {
             merged.push(r?);
         }
+        // Iterations are dealt round-robin (iteration k runs on worker
+        // k % workers), so the lexically last iteration belongs to this
+        // worker — NOT to the last worker in spawn order.
+        let last_owner = (iters.len() - 1) % workers;
+        // Merge order ends with the owner of the last iteration, so
+        // last-write-wins conflicts resolve like a sequential loop.
+        let merge_order: Vec<usize> = (0..merged.len())
+            .filter(|&w| w != last_owner)
+            .chain(std::iter::once(last_owner))
+            .collect();
         for name in before.names() {
             let orig = before.get(&name)?.clone();
             match &orig.data {
                 Data::Matrix(h) => {
                     let base = h.acquire()?;
                     let mut out: Option<Matrix> = None;
-                    for w in &merged {
-                        let Ok(entry) = w.get(&name) else { continue };
+                    for &w in &merge_order {
+                        let Ok(entry) = merged[w].get(&name) else {
+                            continue;
+                        };
                         let Ok(wm) = entry.data.as_matrix() else {
                             continue;
                         };
                         if wm.shape() != base.shape() {
-                            // shape-changing writes: last worker wins
+                            // shape-changing writes: last iteration wins
                             out = Some((*wm).clone());
                             continue;
                         }
@@ -449,15 +486,24 @@ impl Interpreter {
                 _ => {
                     // Scalars/frames: take the value from the worker that ran
                     // the lexically last iteration (deterministic).
-                    if let Some(last) = merged.last() {
-                        if let Ok(e) = last.get(&name) {
-                            st.set(name.clone(), e.data.clone(), e.lineage.clone());
-                        }
+                    if let Ok(e) = merged[last_owner].get(&name) {
+                        st.set(name.clone(), e.data.clone(), e.lineage.clone());
                     }
                 }
             }
         }
         Ok(())
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
     }
 }
 

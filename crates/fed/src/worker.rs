@@ -8,6 +8,7 @@
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::JoinHandle;
 use sysds_common::{Result, SysDsError};
 use sysds_tensor::kernels::{aggregate, elementwise, matmult, tsmm};
@@ -64,7 +65,30 @@ pub enum FedResponse {
     Error(String),
 }
 
+impl FedRequest {
+    /// Stable opcode used in statistics and trace records.
+    pub fn opcode(&self) -> &'static str {
+        match self {
+            FedRequest::Put { .. } => "fed_put",
+            FedRequest::Remove { .. } => "fed_remove",
+            FedRequest::Tsmm { .. } => "fed_tsmm",
+            FedRequest::Tmv { .. } => "fed_tmv",
+            FedRequest::MatVecKeep { .. } => "fed_matvec",
+            FedRequest::ScalarOpKeep { .. } => "fed_scalar_op",
+            FedRequest::BinaryOpKeep { .. } => "fed_binary_op",
+            FedRequest::ColSums { .. } => "fed_colsums",
+            FedRequest::SumSq { .. } => "fed_sumsq",
+            FedRequest::NumRows { .. } => "fed_nrows",
+            FedRequest::LinRegGradient { .. } => "fed_linreg_grad",
+            FedRequest::Shutdown => "fed_shutdown",
+        }
+    }
+}
+
 type Envelope = (FedRequest, Sender<FedResponse>);
+
+/// Logical site ids for worker attribution in traces.
+static NEXT_SITE_ID: AtomicU64 = AtomicU64::new(0);
 
 /// The master-side handle to one federated site.
 #[derive(Debug)]
@@ -78,16 +102,21 @@ impl WorkerHandle {
     /// Spawn a site worker with initial local variables.
     pub fn spawn(initial: Vec<(String, Matrix)>, threads: usize) -> WorkerHandle {
         let (tx, rx) = unbounded::<Envelope>();
+        let site_id = NEXT_SITE_ID.fetch_add(1, Ordering::Relaxed);
         let join = std::thread::spawn(move || {
+            let _worker = sysds_obs::set_worker(site_id);
             let mut vars: HashMap<String, Matrix> = initial.into_iter().collect();
             while let Ok((req, reply)) = rx.recv() {
                 if matches!(req, FedRequest::Shutdown) {
                     let _ = reply.send(FedResponse::Ok);
                     break;
                 }
-                let resp = match execute(&mut vars, req, threads) {
-                    Ok(r) => r,
-                    Err(e) => FedResponse::Error(e.to_string()),
+                let resp = {
+                    let _span = sysds_obs::Span::enter(sysds_obs::Phase::Federated, req.opcode());
+                    match execute(&mut vars, req, threads) {
+                        Ok(r) => r,
+                        Err(e) => FedResponse::Error(e.to_string()),
+                    }
                 };
                 let _ = reply.send(resp);
             }
@@ -106,17 +135,27 @@ impl WorkerHandle {
 
     /// Send one request and wait for the response.
     pub fn request(&self, req: FedRequest) -> Result<FedResponse> {
+        let opcode = req.opcode();
+        let _span = sysds_obs::Span::enter(sysds_obs::Phase::Federated, opcode);
+        let start = std::time::Instant::now();
         let (rtx, rrx) = bounded(1);
         self.tx
             .send((req, rtx))
             .map_err(|_| SysDsError::Federated("worker channel closed".into()))?;
-        match rrx.recv() {
+        let out = match rrx.recv() {
             Ok(FedResponse::Error(msg)) => Err(SysDsError::Federated(msg)),
             Ok(resp) => Ok(resp),
             Err(_) => Err(SysDsError::Federated(
                 "worker died before responding".into(),
             )),
+        };
+        if sysds_obs::stats_enabled() {
+            let c = sysds_obs::counters();
+            c.fed_requests.fetch_add(1, Ordering::Relaxed);
+            c.fed_request_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
+        out
     }
 
     /// Request an aggregate-matrix response.

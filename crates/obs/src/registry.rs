@@ -1,0 +1,374 @@
+//! The global statistics registry: named counters plus per-phase,
+//! per-opcode timing cells.
+//!
+//! Cells are lock-light: a `RwLock<HashMap>` per phase is read-locked for
+//! the common "opcode already known" case and write-locked only the first
+//! time a new opcode appears; all mutation inside a cell is relaxed
+//! atomics, so concurrent parfor workers never serialize on a mutex while
+//! recording.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Execution phases a span can belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// DML text → AST.
+    Parse,
+    /// AST → program blocks + HOP DAGs (inlining, CSE).
+    HopBuild,
+    /// Static or dynamic DAG rewrites.
+    Rewrite,
+    /// Size/sparsity propagation over a DAG.
+    SizeProp,
+    /// DAG → instruction plan.
+    Lower,
+    /// Re-lowering a block whose live-in sizes changed.
+    Recompile,
+    /// One runtime instruction execution.
+    Instruction,
+    /// Buffer-pool evict/restore transfers.
+    BufferPool,
+    /// A parfor worker's whole chunk.
+    ParforWorker,
+    /// One federated request round trip (master side) or site execution.
+    Federated,
+    /// Whole-script execution.
+    Execute,
+}
+
+impl Phase {
+    /// Stable lowercase name used in trace records and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::HopBuild => "hop_build",
+            Phase::Rewrite => "rewrite",
+            Phase::SizeProp => "size_prop",
+            Phase::Lower => "lower",
+            Phase::Recompile => "recompile",
+            Phase::Instruction => "instruction",
+            Phase::BufferPool => "buffer_pool",
+            Phase::ParforWorker => "parfor_worker",
+            Phase::Federated => "federated",
+            Phase::Execute => "execute",
+        }
+    }
+
+    /// All phases, in registry order.
+    pub const ALL: [Phase; 11] = [
+        Phase::Parse,
+        Phase::HopBuild,
+        Phase::Rewrite,
+        Phase::SizeProp,
+        Phase::Lower,
+        Phase::Recompile,
+        Phase::Instruction,
+        Phase::BufferPool,
+        Phase::ParforWorker,
+        Phase::Federated,
+        Phase::Execute,
+    ];
+
+    fn index(&self) -> usize {
+        Phase::ALL
+            .iter()
+            .position(|p| p == self)
+            .expect("phase listed in ALL")
+    }
+}
+
+/// Number of log2(nanos) histogram buckets (bucket 31 ≈ ≥ 2.1 s).
+pub const HIST_BUCKETS: usize = 32;
+
+/// One timing cell: all-atomic, shared behind an `Arc`.
+#[derive(Debug, Default)]
+struct OpCell {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    hist: [AtomicU64; HIST_BUCKETS],
+}
+
+impl OpCell {
+    fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        let bucket = if nanos == 0 {
+            0
+        } else {
+            (63 - nanos.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        };
+        self.hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of one (phase, opcode) timing cell.
+#[derive(Debug, Clone)]
+pub struct OpStats {
+    pub phase: Phase,
+    pub opcode: String,
+    pub count: u64,
+    pub total_nanos: u64,
+    pub max_nanos: u64,
+    /// log2(nanos) histogram: bucket `i` counts spans with
+    /// `2^i <= nanos < 2^(i+1)` (bucket 0 also holds sub-nanosecond spans).
+    pub hist: [u64; HIST_BUCKETS],
+}
+
+impl OpStats {
+    /// Mean duration in nanoseconds (0 when the cell is empty).
+    pub fn mean_nanos(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_nanos / self.count
+        }
+    }
+}
+
+/// One row of the heavy-hitter table.
+#[derive(Debug, Clone)]
+pub struct HeavyHitter {
+    pub opcode: String,
+    pub count: u64,
+    pub total_nanos: u64,
+    pub mean_nanos: u64,
+    pub max_nanos: u64,
+}
+
+struct Registry {
+    phases: Vec<RwLock<HashMap<String, Arc<OpCell>>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        phases: Phase::ALL
+            .iter()
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect(),
+    })
+}
+
+/// Record one finished span into the registry.
+pub fn record(phase: Phase, opcode: &str, nanos: u64) {
+    let shard = &registry().phases[phase.index()];
+    {
+        let map = shard.read().expect("obs registry poisoned");
+        if let Some(cell) = map.get(opcode) {
+            cell.record(nanos);
+            return;
+        }
+    }
+    let mut map = shard.write().expect("obs registry poisoned");
+    map.entry(opcode.to_string())
+        .or_insert_with(|| Arc::new(OpCell::default()))
+        .record(nanos);
+}
+
+/// Snapshot every cell of one phase.
+pub fn phase_stats(phase: Phase) -> Vec<OpStats> {
+    let map = registry().phases[phase.index()]
+        .read()
+        .expect("obs registry poisoned");
+    map.iter()
+        .map(|(opcode, cell)| {
+            let mut hist = [0u64; HIST_BUCKETS];
+            for (dst, src) in hist.iter_mut().zip(cell.hist.iter()) {
+                *dst = src.load(Ordering::Relaxed);
+            }
+            OpStats {
+                phase,
+                opcode: opcode.clone(),
+                count: cell.count.load(Ordering::Relaxed),
+                total_nanos: cell.total_nanos.load(Ordering::Relaxed),
+                max_nanos: cell.max_nanos.load(Ordering::Relaxed),
+                hist,
+            }
+        })
+        .collect()
+}
+
+/// Top-k opcodes of a phase by cumulative time (the SystemDS heavy-hitter
+/// table; ties broken by opcode name for determinism).
+pub fn heavy_hitters(phase: Phase, k: usize) -> Vec<HeavyHitter> {
+    let mut rows: Vec<OpStats> = phase_stats(phase);
+    rows.sort_by(|a, b| {
+        b.total_nanos
+            .cmp(&a.total_nanos)
+            .then_with(|| a.opcode.cmp(&b.opcode))
+    });
+    rows.truncate(k);
+    rows.into_iter()
+        .map(|s| HeavyHitter {
+            mean_nanos: s.mean_nanos(),
+            opcode: s.opcode,
+            count: s.count,
+            total_nanos: s.total_nanos,
+            max_nanos: s.max_nanos,
+        })
+        .collect()
+}
+
+/// Named event counters covering the non-span subsystems.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Buffer pool: matrices written to spill files.
+    pub buf_evictions: AtomicU64,
+    /// Buffer pool: bytes written to spill files.
+    pub buf_spilled_bytes: AtomicU64,
+    /// Buffer pool: matrices restored from spill files.
+    pub buf_restores: AtomicU64,
+    /// Buffer pool: bytes restored from spill files.
+    pub buf_restored_bytes: AtomicU64,
+    /// Lineage cache: full hits.
+    pub lin_hits: AtomicU64,
+    /// Lineage cache: partial (compensation-plan) hits.
+    pub lin_partial_hits: AtomicU64,
+    /// Lineage cache: misses.
+    pub lin_misses: AtomicU64,
+    /// Lineage cache: evictions.
+    pub lin_evictions: AtomicU64,
+    /// Parfor: workers spawned.
+    pub parfor_workers: AtomicU64,
+    /// Parfor: iterations executed.
+    pub parfor_iters: AtomicU64,
+    /// Parfor: summed worker wall time.
+    pub parfor_worker_nanos: AtomicU64,
+    /// Federated: requests sent by the master.
+    pub fed_requests: AtomicU64,
+    /// Federated: summed request round-trip latency.
+    pub fed_request_nanos: AtomicU64,
+    /// Compiler: block plans re-lowered after a size change.
+    pub recompiles: AtomicU64,
+}
+
+static COUNTERS: Counters = Counters {
+    buf_evictions: AtomicU64::new(0),
+    buf_spilled_bytes: AtomicU64::new(0),
+    buf_restores: AtomicU64::new(0),
+    buf_restored_bytes: AtomicU64::new(0),
+    lin_hits: AtomicU64::new(0),
+    lin_partial_hits: AtomicU64::new(0),
+    lin_misses: AtomicU64::new(0),
+    lin_evictions: AtomicU64::new(0),
+    parfor_workers: AtomicU64::new(0),
+    parfor_iters: AtomicU64::new(0),
+    parfor_worker_nanos: AtomicU64::new(0),
+    fed_requests: AtomicU64::new(0),
+    fed_request_nanos: AtomicU64::new(0),
+    recompiles: AtomicU64::new(0),
+};
+
+/// The global counter set.
+pub fn counters() -> &'static Counters {
+    &COUNTERS
+}
+
+/// Plain-integer copy of [`Counters`] for reports and delta assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub buf_evictions: u64,
+    pub buf_spilled_bytes: u64,
+    pub buf_restores: u64,
+    pub buf_restored_bytes: u64,
+    pub lin_hits: u64,
+    pub lin_partial_hits: u64,
+    pub lin_misses: u64,
+    pub lin_evictions: u64,
+    pub parfor_workers: u64,
+    pub parfor_iters: u64,
+    pub parfor_worker_nanos: u64,
+    pub fed_requests: u64,
+    pub fed_request_nanos: u64,
+    pub recompiles: u64,
+}
+
+impl Counters {
+    /// Read every counter (relaxed) into a plain snapshot.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            buf_evictions: self.buf_evictions.load(Ordering::Relaxed),
+            buf_spilled_bytes: self.buf_spilled_bytes.load(Ordering::Relaxed),
+            buf_restores: self.buf_restores.load(Ordering::Relaxed),
+            buf_restored_bytes: self.buf_restored_bytes.load(Ordering::Relaxed),
+            lin_hits: self.lin_hits.load(Ordering::Relaxed),
+            lin_partial_hits: self.lin_partial_hits.load(Ordering::Relaxed),
+            lin_misses: self.lin_misses.load(Ordering::Relaxed),
+            lin_evictions: self.lin_evictions.load(Ordering::Relaxed),
+            parfor_workers: self.parfor_workers.load(Ordering::Relaxed),
+            parfor_iters: self.parfor_iters.load(Ordering::Relaxed),
+            parfor_worker_nanos: self.parfor_worker_nanos.load(Ordering::Relaxed),
+            fed_requests: self.fed_requests.load(Ordering::Relaxed),
+            fed_request_nanos: self.fed_request_nanos.load(Ordering::Relaxed),
+            recompiles: self.recompiles.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Reset all timing cells and counters to zero.
+pub fn reset() {
+    for shard in &registry().phases {
+        shard.write().expect("obs registry poisoned").clear();
+    }
+    let c = counters();
+    for a in [
+        &c.buf_evictions,
+        &c.buf_spilled_bytes,
+        &c.buf_restores,
+        &c.buf_restored_bytes,
+        &c.lin_hits,
+        &c.lin_partial_hits,
+        &c.lin_misses,
+        &c.lin_evictions,
+        &c.parfor_workers,
+        &c.parfor_iters,
+        &c.parfor_worker_nanos,
+        &c.fed_requests,
+        &c.fed_request_nanos,
+        &c.recompiles,
+    ] {
+        a.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_heavy_hitters() {
+        // Use a phase no other test writes to, to stay parallel-safe.
+        record(Phase::Execute, "hh-test-a", 100);
+        record(Phase::Execute, "hh-test-a", 300);
+        record(Phase::Execute, "hh-test-b", 50);
+        let hh = heavy_hitters(Phase::Execute, 10);
+        let a = hh.iter().find(|h| h.opcode == "hh-test-a").unwrap();
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total_nanos, 400);
+        assert_eq!(a.mean_nanos, 200);
+        assert_eq!(a.max_nanos, 300);
+        let pos_a = hh.iter().position(|h| h.opcode == "hh-test-a").unwrap();
+        let pos_b = hh.iter().position(|h| h.opcode == "hh-test-b").unwrap();
+        assert!(pos_a < pos_b, "sorted by cumulative time");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        record(Phase::Parse, "hist-test", 1); // bucket 0
+        record(Phase::Parse, "hist-test", 1024); // bucket 10
+        let stats = phase_stats(Phase::Parse);
+        let s = stats.iter().find(|s| s.opcode == "hist-test").unwrap();
+        assert!(s.hist[0] >= 1);
+        assert!(s.hist[10] >= 1);
+    }
+
+    #[test]
+    fn counter_snapshot_reads_back() {
+        counters().fed_requests.fetch_add(3, Ordering::Relaxed);
+        assert!(counters().snapshot().fed_requests >= 3);
+    }
+}

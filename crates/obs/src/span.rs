@@ -1,0 +1,201 @@
+//! RAII spans with parent/child linking and worker attribution.
+//!
+//! [`Span::enter`] is a no-op returning an inert guard unless observability
+//! is enabled — the disabled cost is one relaxed atomic load and a `None`
+//! move. Active spans push their id onto a thread-local stack (so nested
+//! spans record their parent), and on drop feed the statistics registry
+//! and/or the JSONL trace sink.
+
+use crate::registry::Phase;
+use crate::trace::TraceRecord;
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static WORKER_ID: Cell<Option<u64>> = const { Cell::new(None) };
+    static THREAD_ID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Process-wide trace epoch; span start offsets are relative to this.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+/// Tag the current thread as logical worker `id` (parfor or federated
+/// site); spans finished while the guard lives carry the id. Restores the
+/// previous tag on drop, so nesting is safe.
+pub fn set_worker(id: u64) -> WorkerGuard {
+    let prev = WORKER_ID.with(|w| w.replace(Some(id)));
+    WorkerGuard { prev }
+}
+
+/// Guard returned by [`set_worker`]; restores the previous worker tag.
+pub struct WorkerGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        WORKER_ID.with(|w| w.set(self.prev));
+    }
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    phase: Phase,
+    opcode: Cow<'static, str>,
+    start: Instant,
+    start_nanos: u64,
+}
+
+/// A (possibly inert) span guard; see [`Span::enter`].
+pub struct Span(Option<ActiveSpan>);
+
+impl Span {
+    /// Open a span with a static opcode. Inert (and free) when
+    /// observability is disabled.
+    #[inline]
+    pub fn enter(phase: Phase, opcode: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span(None);
+        }
+        Span(Some(ActiveSpan::open(phase, Cow::Borrowed(opcode))))
+    }
+
+    /// Open a span with a lazily computed opcode; the closure only runs
+    /// when observability is enabled, so callers pay no allocation on the
+    /// disabled fast path.
+    #[inline]
+    pub fn enter_with<F: FnOnce() -> String>(phase: Phase, opcode: F) -> Span {
+        if !crate::enabled() {
+            return Span(None);
+        }
+        Span(Some(ActiveSpan::open(phase, Cow::Owned(opcode()))))
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl ActiveSpan {
+    fn open(phase: Phase, opcode: Cow<'static, str>) -> ActiveSpan {
+        let start = Instant::now();
+        let start_nanos = start.duration_since(epoch()).as_nanos() as u64;
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied().unwrap_or(0);
+            s.push(id);
+            parent
+        });
+        ActiveSpan {
+            id,
+            parent,
+            phase,
+            opcode,
+            start,
+            start_nanos,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(span) = self.0.take() else { return };
+        let nanos = span.start.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Pop our own id; tolerate unbalanced stacks from panics.
+            if s.last() == Some(&span.id) {
+                s.pop();
+            } else if let Some(pos) = s.iter().rposition(|&id| id == span.id) {
+                s.truncate(pos);
+            }
+        });
+        if crate::stats_enabled() {
+            crate::registry::record(span.phase, &span.opcode, nanos);
+        }
+        if crate::trace_enabled() {
+            crate::trace::write(&TraceRecord {
+                id: span.id,
+                parent: span.parent,
+                phase: span.phase.as_str().to_string(),
+                op: span.opcode.into_owned(),
+                start_ns: span.start_nanos,
+                dur_ns: nanos,
+                thread: thread_id(),
+                worker: WORKER_ID.with(|w| w.get()),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = crate::test_flag_guard();
+        crate::disable_stats();
+        crate::disable_trace();
+        let s = Span::enter(Phase::Instruction, "noop");
+        assert!(!s.is_active());
+        let called = std::cell::Cell::new(false);
+        let s2 = Span::enter_with(Phase::Instruction, || {
+            called.set(true);
+            "x".to_string()
+        });
+        assert!(!s2.is_active());
+        assert!(!called.get(), "closure must not run when disabled");
+    }
+
+    #[test]
+    fn worker_guard_restores() {
+        {
+            let _a = set_worker(7);
+            WORKER_ID.with(|w| assert_eq!(w.get(), Some(7)));
+            {
+                let _b = set_worker(9);
+                WORKER_ID.with(|w| assert_eq!(w.get(), Some(9)));
+            }
+            WORKER_ID.with(|w| assert_eq!(w.get(), Some(7)));
+        }
+        WORKER_ID.with(|w| assert_eq!(w.get(), None));
+    }
+
+    #[test]
+    fn nesting_links_parents() {
+        let _g = crate::test_flag_guard();
+        crate::enable_stats();
+        let outer = Span::enter(Phase::Execute, "outer-span-test");
+        let outer_id = outer.0.as_ref().unwrap().id;
+        let inner = Span::enter(Phase::Instruction, "inner-span-test");
+        assert_eq!(inner.0.as_ref().unwrap().parent, outer_id);
+        drop(inner);
+        drop(outer);
+        crate::disable_stats();
+    }
+}

@@ -1,0 +1,328 @@
+//! The JSONL trace sink: one object per line, one line per finished span.
+//!
+//! Schema (all fields always present; `worker` is `null` off-worker):
+//!
+//! ```json
+//! {"id":12,"parent":3,"phase":"instruction","op":"ba+*",
+//!  "start_ns":104114,"dur_ns":88021,"thread":0,"worker":null}
+//! ```
+//!
+//! Records are written under a short mutex — tracing is a diagnostics
+//! mode, not the fast path. [`parse_record`] reads the schema back without
+//! a JSON dependency, so tests and the bench harness can consume traces
+//! machine-readably.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// One span record, as written to (and parsed from) the trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    pub id: u64,
+    pub parent: u64,
+    pub phase: String,
+    pub op: String,
+    /// Start offset in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// Per-process logical thread id.
+    pub thread: u64,
+    /// Logical worker id (parfor worker or federated site), if any.
+    pub worker: Option<u64>,
+}
+
+/// Open (truncate) `path` as the sink.
+pub(crate) fn open(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = Some(BufWriter::new(file));
+    Ok(())
+}
+
+/// Flush and drop the sink.
+pub(crate) fn close() {
+    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(mut w) = guard.take() {
+        let _ = w.flush();
+    }
+}
+
+/// Flush buffered records without closing the sink.
+pub fn flush() {
+    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(w) = guard.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl TraceRecord {
+    /// Render as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"id\":");
+        s.push_str(&self.id.to_string());
+        s.push_str(",\"parent\":");
+        s.push_str(&self.parent.to_string());
+        s.push_str(",\"phase\":\"");
+        escape_into(&mut s, &self.phase);
+        s.push_str("\",\"op\":\"");
+        escape_into(&mut s, &self.op);
+        s.push_str("\",\"start_ns\":");
+        s.push_str(&self.start_ns.to_string());
+        s.push_str(",\"dur_ns\":");
+        s.push_str(&self.dur_ns.to_string());
+        s.push_str(",\"thread\":");
+        s.push_str(&self.thread.to_string());
+        s.push_str(",\"worker\":");
+        match self.worker {
+            Some(w) => s.push_str(&w.to_string()),
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Append one record to the sink (no-op when no sink is open).
+pub(crate) fn write(rec: &TraceRecord) {
+    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(w) = guard.as_mut() {
+        let _ = writeln!(w, "{}", rec.to_json());
+    }
+}
+
+/// Parse one JSONL line produced by this sink. Returns `None` for
+/// malformed lines or lines missing required fields.
+pub fn parse_record(line: &str) -> Option<TraceRecord> {
+    let fields = parse_flat_object(line.trim())?;
+    let get_u64 = |k: &str| -> Option<u64> {
+        match fields.iter().find(|(n, _)| n == k)? {
+            (_, JsonValue::Num(v)) => Some(*v),
+            _ => None,
+        }
+    };
+    let get_str = |k: &str| -> Option<String> {
+        match fields.iter().find(|(n, _)| n == k)? {
+            (_, JsonValue::Str(v)) => Some(v.clone()),
+            _ => None,
+        }
+    };
+    let worker = match fields.iter().find(|(n, _)| n == "worker")? {
+        (_, JsonValue::Num(v)) => Some(*v),
+        (_, JsonValue::Null) => None,
+        _ => return None,
+    };
+    Some(TraceRecord {
+        id: get_u64("id")?,
+        parent: get_u64("parent")?,
+        phase: get_str("phase")?,
+        op: get_str("op")?,
+        start_ns: get_u64("start_ns")?,
+        dur_ns: get_u64("dur_ns")?,
+        thread: get_u64("thread")?,
+        worker,
+    })
+}
+
+enum JsonValue {
+    Num(u64),
+    Str(String),
+    Null,
+}
+
+/// Minimal parser for the flat `{"key":value,...}` objects this module
+/// emits: values are unsigned integers, strings, or `null`.
+fn parse_flat_object(s: &str) -> Option<Vec<(String, JsonValue)>> {
+    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        // Key.
+        skip_ws(&mut chars);
+        if chars.peek().is_none() {
+            break;
+        }
+        if chars.next()? != '"' {
+            return None;
+        }
+        let key = parse_string_body(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        // Value.
+        let value = match chars.peek()? {
+            '"' => {
+                chars.next();
+                JsonValue::Str(parse_string_body(&mut chars)?)
+            }
+            'n' => {
+                for expect in ['n', 'u', 'l', 'l'] {
+                    if chars.next()? != expect {
+                        return None;
+                    }
+                }
+                JsonValue::Null
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        num.push(*c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonValue::Num(num.parse().ok()?)
+            }
+            _ => return None,
+        };
+        out.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(_) => return None,
+        }
+    }
+    Some(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parse a JSON string body after the opening quote, consuming the
+/// closing quote.
+fn parse_string_body(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                '/' => out.push('/'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let rec = TraceRecord {
+            id: 42,
+            parent: 7,
+            phase: "instruction".into(),
+            op: "ba+*".into(),
+            start_ns: 1_000,
+            dur_ns: 2_500,
+            thread: 3,
+            worker: Some(1),
+        };
+        let line = rec.to_json();
+        assert_eq!(parse_record(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn null_worker_round_trip() {
+        let rec = TraceRecord {
+            id: 1,
+            parent: 0,
+            phase: "parse".into(),
+            op: "parse".into(),
+            start_ns: 0,
+            dur_ns: 9,
+            thread: 0,
+            worker: None,
+        };
+        let parsed = parse_record(&rec.to_json()).unwrap();
+        assert_eq!(parsed.worker, None);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let rec = TraceRecord {
+            id: 1,
+            parent: 0,
+            phase: "instruction".into(),
+            op: "weird\"op\\with\nstuff".into(),
+            start_ns: 0,
+            dur_ns: 0,
+            thread: 0,
+            worker: None,
+        };
+        assert_eq!(parse_record(&rec.to_json()).unwrap().op, rec.op);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_record("").is_none());
+        assert!(parse_record("{").is_none());
+        assert!(parse_record("{\"id\":1}").is_none());
+        assert!(parse_record("not json at all").is_none());
+    }
+
+    #[test]
+    fn file_sink_writes_lines() {
+        let _g = crate::test_flag_guard();
+        let dir = std::env::temp_dir().join("sysds-obs-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        open(&path).unwrap();
+        write(&TraceRecord {
+            id: 5,
+            parent: 0,
+            phase: "execute".into(),
+            op: "script".into(),
+            start_ns: 1,
+            dur_ns: 2,
+            thread: 0,
+            worker: None,
+        });
+        close();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let rec = parse_record(content.lines().next().unwrap()).unwrap();
+        assert_eq!(rec.id, 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,173 @@
+//! Integration tests for the observability subsystem through the `sysds`
+//! CLI: `--stats` report rendering and `--trace FILE` JSONL span export.
+
+use std::collections::BTreeSet;
+use std::process::Command;
+use sysds_obs::{parse_record, TraceRecord};
+
+fn sysds_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sysds")
+}
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sysds-obs-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_script(name: &str, content: &str) -> std::path::PathBuf {
+    let p = temp_dir().join(format!("{name}-{}.dml", std::process::id()));
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+const SCRIPT: &str = r#"
+X = rand(rows=30, cols=5, seed=1)
+Y = t(X) %*% X
+s = 0
+parfor (i in 1:4) { s = i + sum(Y) }
+print("s = " + s)
+"#;
+
+#[test]
+fn stats_flag_prints_full_report() {
+    let p = write_script("stats-report", SCRIPT);
+    let out = Command::new(sysds_bin())
+        .args(["run", p.to_str().unwrap(), "--stats", "--threads", "4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    // The three mandatory report sections.
+    assert!(err.contains("Heavy hitter instructions:"), "{err}");
+    assert!(err.contains("Buffer pool:"), "{err}");
+    assert!(err.contains("Lineage cache:"), "{err}");
+    // Instructions actually executed, so the table must have rows.
+    assert!(!err.contains("(none recorded)"), "{err}");
+    assert!(err.contains("Instruction"), "{err}");
+    // Compiler phases recorded time too.
+    assert!(err.contains("Compiler phases:"), "{err}");
+    assert!(err.contains("parse"), "{err}");
+    // Parfor ran, so worker counters must be reported.
+    assert!(err.contains("Parfor: 4 workers"), "{err}");
+}
+
+#[test]
+fn trace_flag_writes_parseable_jsonl_spans() {
+    let p = write_script("trace-spans", SCRIPT);
+    let trace = temp_dir().join(format!("trace-{}.jsonl", std::process::id()));
+    let out = Command::new(sysds_bin())
+        .args([
+            "run",
+            p.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--threads",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let body = std::fs::read_to_string(&trace).unwrap();
+    let records: Vec<TraceRecord> = body
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_record(l).unwrap_or_else(|| panic!("unparseable trace line: {l}")))
+        .collect();
+    assert!(!records.is_empty(), "trace file must contain spans");
+
+    // One span per executed instruction: this script runs rand, t, %*%,
+    // sum and more, so well over five instruction spans.
+    let instr: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| r.phase == "instruction")
+        .collect();
+    assert!(
+        instr.len() >= 5,
+        "expected >=5 instruction spans, got {}",
+        instr.len()
+    );
+
+    // Compiler phases are traced as spans too.
+    let phases: BTreeSet<&str> = records.iter().map(|r| r.phase.as_str()).collect();
+    assert!(phases.contains("parse"), "phases: {phases:?}");
+    assert!(phases.contains("hop_build"), "phases: {phases:?}");
+    assert!(phases.contains("lower"), "phases: {phases:?}");
+
+    // Parfor worker spans carry their worker id: 4 iterations on 4
+    // threads means workers 0..=3 each ran (and traced) a chunk.
+    let worker_ids: BTreeSet<u64> = records
+        .iter()
+        .filter(|r| r.phase == "parfor_worker")
+        .map(|r| r.worker.expect("parfor worker span must carry worker id"))
+        .collect();
+    assert_eq!(
+        worker_ids,
+        (0..4).collect::<BTreeSet<u64>>(),
+        "records: {records:?}"
+    );
+
+    // Parent linking: instructions executed inside a parfor worker hang
+    // off that worker's span.
+    let worker_span_ids: BTreeSet<u64> = records
+        .iter()
+        .filter(|r| r.phase == "parfor_worker")
+        .map(|r| r.id)
+        .collect();
+    assert!(
+        instr.iter().any(|r| worker_span_ids.contains(&r.parent)),
+        "no instruction span is parented to a parfor worker"
+    );
+
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn trace_and_stats_compose() {
+    let p = write_script("both-flags", "x = sum(matrix(2, rows=4, cols=4))\nprint(x)");
+    let trace = temp_dir().join(format!("both-{}.jsonl", std::process::id()));
+    let out = Command::new(sysds_bin())
+        .args([
+            "run",
+            p.to_str().unwrap(),
+            "--stats",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("Heavy hitter instructions:"));
+    let body = std::fs::read_to_string(&trace).unwrap();
+    assert!(body.lines().any(|l| parse_record(l).is_some()));
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn trace_to_unwritable_path_fails_cleanly() {
+    let p = write_script("bad-trace", "x = 1");
+    let out = Command::new(sysds_bin())
+        .args([
+            "run",
+            p.to_str().unwrap(),
+            "--trace",
+            "/nonexistent-dir/trace.jsonl",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trace"));
+}

@@ -1,0 +1,123 @@
+#![allow(clippy::field_reassign_with_default)]
+
+//! Regression tests for parfor result merge ordering and worker failure
+//! handling.
+//!
+//! Iterations are dealt round-robin across workers (iteration k runs on
+//! worker k % workers), so the worker owning the lexically LAST iteration
+//! is `(n - 1) % workers` — not the last-spawned worker. These tests pin
+//! that down with an iteration count that is not a multiple of the worker
+//! count: with 6 iterations on 4 threads the last iteration (i=6) runs on
+//! worker 1, while the buggy "take the last worker" merge would have
+//! returned worker 3's final value (i=4).
+
+use sysds::api::SystemDS;
+use sysds_common::{EngineConfig, ScalarValue, SysDsError};
+
+fn session(threads: usize) -> SystemDS {
+    let mut config = EngineConfig::default();
+    config.num_threads = threads;
+    config.spill_dir = std::env::temp_dir().join("sysds-parfor-merge-tests");
+    SystemDS::with_config(config).unwrap()
+}
+
+#[test]
+fn scalar_accumulator_takes_lexically_last_iteration() {
+    let mut s = session(4);
+    let out = s
+        .execute(
+            r#"
+            acc = 0
+            parfor (i in 1:6) { acc = i }
+            "#,
+            &[],
+            &["acc"],
+        )
+        .unwrap();
+    // Sequential semantics: the last iteration (i=6) wins. The old merge
+    // read the last worker's table, which held i=4.
+    assert_eq!(out.scalar("acc").unwrap(), ScalarValue::I64(6));
+}
+
+#[test]
+fn shape_changing_write_takes_lexically_last_iteration() {
+    let mut s = session(4);
+    let out = s
+        .execute(
+            r#"
+            R = matrix(0, rows=1, cols=1)
+            parfor (i in 1:6) { R = matrix(i, rows=i, cols=1) }
+            "#,
+            &[],
+            &["R"],
+        )
+        .unwrap();
+    let r = out.matrix("R").unwrap();
+    // i=6 produced a 6x1 matrix of sixes; worker 3's last write was 4x1.
+    assert_eq!(r.shape(), (6, 1));
+    assert_eq!(r.get(0, 0), 6.0);
+    assert_eq!(r.get(5, 0), 6.0);
+}
+
+#[test]
+fn merge_matches_sequential_for_loop() {
+    // The same body run with `for` and `parfor` must agree, including a
+    // scalar carried out of the loop.
+    let script = |kw: &str| {
+        format!(
+            r#"
+            B = matrix(0, rows=2, cols=7)
+            last = 0
+            {kw} (i in 1:7) {{
+                B[, i] = matrix(i * i, rows=2, cols=1)
+                last = i * 10
+            }}
+            total = sum(B)
+            "#
+        )
+    };
+    let mut seq = session(1);
+    let mut par = session(4);
+    let a = seq
+        .execute(&script("for"), &[], &["total", "last"])
+        .unwrap();
+    let b = par
+        .execute(&script("parfor"), &[], &["total", "last"])
+        .unwrap();
+    assert_eq!(a.f64("total").unwrap(), b.f64("total").unwrap());
+    assert_eq!(a.f64("last").unwrap(), 70.0);
+    assert_eq!(b.f64("last").unwrap(), 70.0);
+}
+
+#[test]
+fn stop_inside_parfor_surfaces_as_error() {
+    let mut s = session(4);
+    let err = s
+        .execute(
+            r#"
+            parfor (i in 1:8) {
+                if (i == 3) { stop("worker failure at " + i) }
+            }
+            "#,
+            &[],
+            &[],
+        )
+        .unwrap_err();
+    // stop() must surface as a structured error from the owning worker —
+    // not abort the process or poison the other workers.
+    match err {
+        SysDsError::Stop(msg) => assert!(msg.contains("worker failure at 3"), "{msg}"),
+        other => panic!("expected Stop error, got: {other}"),
+    }
+}
+
+#[test]
+fn session_usable_after_parfor_error() {
+    let mut s = session(4);
+    let _ = s
+        .execute(r#"parfor (i in 1:4) { stop("boom") }"#, &[], &[])
+        .unwrap_err();
+    // The engine must stay usable after a failed parfor.
+    let out = s.execute("x = 1 + 1", &[], &["x"]).unwrap();
+    assert_eq!(out.f64("x").unwrap(), 2.0);
+}
