@@ -48,6 +48,10 @@ pub struct EngineConfig {
     /// When set, append one JSONL span record per instrumented region to
     /// this file.
     pub trace_file: Option<PathBuf>,
+    /// When set, buffer span records in memory and export them as Chrome
+    /// `trace_event` JSON (chrome://tracing, Perfetto) to this file after
+    /// the run.
+    pub chrome_trace_file: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +72,7 @@ impl Default for EngineConfig {
             dynamic_recompile: true,
             stats: false,
             trace_file: None,
+            chrome_trace_file: None,
         }
     }
 }
@@ -121,6 +126,12 @@ impl EngineConfig {
         self.trace_file = Some(path.into());
         self
     }
+
+    /// Builder-style setter for Chrome trace export (`--chrome-trace FILE`).
+    pub fn chrome_trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.chrome_trace_file = Some(path.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +183,17 @@ mod tests {
         assert_eq!(
             c.trace_file.as_deref(),
             Some(std::path::Path::new("/tmp/out.jsonl"))
+        );
+    }
+
+    #[test]
+    fn chrome_trace_builder() {
+        let c = EngineConfig::default();
+        assert!(c.chrome_trace_file.is_none());
+        let c = c.chrome_trace("/tmp/out.trace.json");
+        assert_eq!(
+            c.chrome_trace_file.as_deref(),
+            Some(std::path::Path::new("/tmp/out.trace.json"))
         );
     }
 }

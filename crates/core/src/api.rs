@@ -140,12 +140,28 @@ impl SystemDS {
             compiler_phases,
             counters: sysds_obs::counters().snapshot(),
             cache: self.ctx.cache.stats(),
+            audit: sysds_obs::audit::worst_offenders(10),
+            recompile_triggers: sysds_obs::audit::recompile_triggers(),
         }
     }
 
     /// Clear the lineage reuse cache.
     pub fn clear_cache(&self) {
         self.ctx.cache.clear();
+    }
+
+    /// Export the spans buffered for `chrome_trace_file` as Chrome
+    /// `trace_event` JSON. Returns the path written, or `None` when the
+    /// config did not request a Chrome trace. Drains the buffer, so call
+    /// once after the run(s) of interest.
+    pub fn export_chrome_trace(&self) -> Result<Option<std::path::PathBuf>> {
+        let Some(path) = self.ctx.config.chrome_trace_file.clone() else {
+            return Ok(None);
+        };
+        let records = sysds_obs::take_memory_trace();
+        sysds_obs::chrome_trace::write_chrome_trace(&path, &records)
+            .map_err(|e| SysDsError::runtime(format!("cannot write chrome trace: {e}")))?;
+        Ok(Some(path))
     }
 
     /// Compile a script (exposed for inspection and tests).
@@ -170,7 +186,30 @@ impl SystemDS {
         outputs: &[&str],
     ) -> Result<ScriptOutputs> {
         let program = self.compile(script)?;
-        run_program(&self.ctx, &program, inputs, outputs)
+        self.execute_program(&program, inputs, outputs)
+    }
+
+    /// Execute an already-compiled program (see [`SystemDS::compile`]).
+    /// Lets callers explain and execute the same compilation — the CLI's
+    /// `--explain` path compiles exactly once.
+    pub fn execute_program(
+        &mut self,
+        program: &Arc<CompiledProgram>,
+        inputs: &[(&str, Data)],
+        outputs: &[&str],
+    ) -> Result<ScriptOutputs> {
+        run_program(&self.ctx, program, inputs, outputs)
+    }
+
+    /// Render a compiled program at the requested explain level — HOP DAGs
+    /// with propagated sizes/estimates, or lowered runtime instructions
+    /// (the CLI's `--explain hops|runtime`).
+    pub fn explain(
+        &self,
+        program: &CompiledProgram,
+        level: crate::compiler::explain::ExplainLevel,
+    ) -> String {
+        crate::compiler::explain::explain(program, &self.ctx.config, level)
     }
 
     /// Pre-compile a script for repeated low-latency execution (JMLC).
@@ -284,6 +323,11 @@ pub struct RunReport {
     pub counters: sysds_obs::CounterSnapshot,
     /// Lineage-cache statistics for this session.
     pub cache: CacheStats,
+    /// Worst estimate-vs-actual offenders: per-opcode residuals of
+    /// compile-time size/memory estimates against observed outputs.
+    pub audit: Vec<sysds_obs::AuditRow>,
+    /// Per-trigger attribution of dynamic recompiles.
+    pub recompile_triggers: sysds_obs::RecompileTriggers,
 }
 
 impl RunReport {
@@ -331,7 +375,18 @@ impl RunReport {
                 c.fed_request_nanos as f64 / 1e9
             );
         }
+        if !self.audit.is_empty() {
+            out.push_str("Estimate vs actual (worst offenders):\n");
+            out.push_str(&sysds_obs::audit::render_audit_table(&self.audit));
+        }
         let _ = writeln!(out, "Recompiles: {}", c.recompiles);
+        if self.recompile_triggers.total() > 0 {
+            let _ = writeln!(
+                out,
+                "Recompile triggers: {}",
+                self.recompile_triggers.render()
+            );
+        }
         out
     }
 }
@@ -481,7 +536,14 @@ mod tests {
         config.spill_dir = std::env::temp_dir().join("sysds-api-tests");
         config.stats = true;
         let mut s = SystemDS::with_config(config).unwrap();
-        s.execute("x = 2 + 3\ny = x * 4", &[], &["y"]).unwrap();
+        // Matrix ops so that instructions actually execute (pure scalar
+        // arithmetic constant-folds to a literal bind — zero instructions).
+        s.execute(
+            "X = rand(rows=8, cols=4, seed=7)\ny = sum(X %*% t(X))",
+            &[],
+            &["y"],
+        )
+        .unwrap();
         let report = s.run_report();
         assert!(!report.heavy_hitters.is_empty());
         let text = report.render();

@@ -6,10 +6,13 @@
 //! sysds run script.dml --reuse --stats      # with lineage reuse + stats
 //! sysds run script.dml --threads 8 --budget-mb 512
 //! sysds run script.dml --arg X=features.csv # $X substitution
+//! sysds run script.dml --explain hops       # HOP DAGs with size estimates
+//! sysds run script.dml --chrome-trace t.json # chrome://tracing timeline
 //! ```
 
 use std::process::ExitCode;
 use sysds::api::SystemDS;
+use sysds::compiler::explain::ExplainLevel;
 use sysds_common::config::ReusePolicy;
 use sysds_common::EngineConfig;
 
@@ -24,11 +27,16 @@ fn usage() -> ! {
            --reuse            enable lineage tracing + full/partial reuse\n\
            --blas             use the optimized (BLAS-like) kernels\n\
            --no-recompile     disable dynamic recompilation\n\
-           --stats            print heavy-hitter, buffer-pool and cache\n\
-                              statistics after execution\n\
+           --stats            print heavy-hitter, buffer-pool, cache and\n\
+                              estimate-vs-actual statistics after execution\n\
            --trace FILE       write one JSONL span record per compiler\n\
                               phase / instruction / worker to FILE\n\
-           --explain          print the compiled program structure"
+           --chrome-trace FILE  export the run timeline as Chrome\n\
+                              trace_event JSON (chrome://tracing, Perfetto)\n\
+           --explain [LEVEL]  print the compiled plan before executing;\n\
+                              LEVEL is 'hops' (default: HOP DAGs with\n\
+                              dims/sparsity/memory/exec) or 'runtime'\n\
+                              (lowered instructions)"
     );
     std::process::exit(2);
 }
@@ -41,7 +49,7 @@ fn main() -> ExitCode {
     let script_path = &args[1];
     let mut config = EngineConfig::default();
     let mut stats = false;
-    let mut explain = false;
+    let mut explain: Option<ExplainLevel> = None;
     let mut substitutions: Vec<(String, String)> = Vec::new();
     let mut i = 2;
     while i < args.len() {
@@ -80,7 +88,22 @@ fn main() -> ExitCode {
                 let Some(path) = args.get(i) else { usage() };
                 config.trace_file = Some(path.into());
             }
-            "--explain" => explain = true,
+            "--chrome-trace" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                config.chrome_trace_file = Some(path.into());
+            }
+            "--explain" => {
+                // Optional level: `--explain runtime`; bare `--explain`
+                // defaults to the HOP view.
+                match args.get(i + 1).map(|s| s.parse::<ExplainLevel>()) {
+                    Some(Ok(level)) => {
+                        explain = Some(level);
+                        i += 1;
+                    }
+                    _ => explain = Some(ExplainLevel::Hops),
+                }
+            }
             other => {
                 eprintln!("unknown option '{other}'");
                 usage();
@@ -111,31 +134,37 @@ fn main() -> ExitCode {
     };
     sds.echo_stdout(true);
 
-    if explain {
-        match sds.compile(&script) {
-            Ok(program) => {
-                eprintln!(
-                    "# compiled program: {} top-level blocks",
-                    program.blocks.len()
-                );
-                for (i, b) in program.blocks.iter().enumerate() {
-                    eprintln!("#   block {i}: {}", block_kind(b));
-                }
-                eprintln!("# functions: {}", program.functions.len());
-            }
-            Err(e) => {
-                eprintln!("compile error: {e}");
-                return ExitCode::FAILURE;
-            }
+    // Compile exactly once; explain and execution share the program.
+    let program = match sds.compile(&script) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
         }
+    };
+    if let Some(level) = explain {
+        eprintln!(
+            "# compiled program: {} top-level blocks, {} functions",
+            program.blocks.len(),
+            program.functions.len()
+        );
+        eprint!("{}", sds.explain(&program, level));
     }
 
     let tracing = sds.config().trace_file.is_some();
     let start = std::time::Instant::now();
-    let result = sds.execute(&script, &[], &[]);
+    let result = sds.execute_program(&program, &[], &[]);
     if tracing {
         // Flush and close the JSONL sink so every span record is on disk.
         sysds_obs::disable_trace();
+    }
+    match sds.export_chrome_trace() {
+        Ok(Some(path)) => eprintln!("# chrome trace written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     match result {
         Ok(_) => {
@@ -149,17 +178,5 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
-    }
-}
-
-fn block_kind(b: &sysds::compiler::Block) -> String {
-    use sysds::compiler::Block;
-    match b {
-        Block::Basic(bb) => format!("basic ({} hops, {} roots)", bb.dag.len(), bb.roots.len()),
-        Block::If { .. } => "if".into(),
-        Block::For { parallel: true, .. } => "parfor".into(),
-        Block::For { .. } => "for".into(),
-        Block::While { .. } => "while".into(),
-        Block::Call { function, .. } => format!("call {function}"),
     }
 }

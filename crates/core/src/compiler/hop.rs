@@ -131,12 +131,14 @@ impl SizeInfo {
         self.rows.value().is_some() && self.cols.value().is_some()
     }
 
-    /// Memory estimate in bytes (worst case when dims unknown: `usize::MAX`
-    /// forces conservative distributed selection only if budget exceeded).
-    pub fn memory_estimate(&self) -> usize {
+    /// Memory estimate in bytes, or `None` when either dimension is
+    /// unknown. Callers must decide explicitly how to treat unknowns
+    /// (operator selection stays conservative in CP and relies on dynamic
+    /// recompilation once sizes materialize).
+    pub fn memory_estimate(&self) -> Option<usize> {
         match (self.rows.value(), self.cols.value()) {
-            (Some(r), Some(c)) => Matrix::estimate_size(r, c, self.sparsity.unwrap_or(1.0)),
-            _ => usize::MAX,
+            (Some(r), Some(c)) => Some(Matrix::estimate_size(r, c, self.sparsity.unwrap_or(1.0))),
+            _ => None,
         }
     }
 }
@@ -326,10 +328,15 @@ mod tests {
 
     #[test]
     fn size_info_memory_estimates() {
-        let dense = SizeInfo::matrix(100, 100, Some(1.0));
-        let sparse = SizeInfo::matrix(100, 100, Some(0.01));
-        assert!(dense.memory_estimate() > sparse.memory_estimate());
-        assert_eq!(SizeInfo::unknown().memory_estimate(), usize::MAX);
+        let dense = SizeInfo::matrix(100, 100, Some(1.0)).memory_estimate();
+        let sparse = SizeInfo::matrix(100, 100, Some(0.01)).memory_estimate();
+        assert!(dense.unwrap() > sparse.unwrap());
+        assert_eq!(SizeInfo::unknown().memory_estimate(), None);
+        assert_eq!(
+            SizeInfo::matrix(10, 10, None).memory_estimate(),
+            SizeInfo::matrix(10, 10, Some(1.0)).memory_estimate(),
+            "missing sparsity is estimated dense"
+        );
         assert!(SizeInfo::scalar().fully_known());
     }
 

@@ -38,20 +38,43 @@ pub struct Plan {
     pub result_slot: Option<usize>,
     /// True when some reachable node had unknown sizes at lowering time.
     pub had_unknown: bool,
-    /// Live-in sizes the plan was lowered under (for cache validation).
-    pub fingerprint: Vec<(String, Option<(usize, usize)>)>,
+    /// Live-in sizes the plan was lowered under (for cache validation):
+    /// per variable the known dims plus a coarse sparsity bucket. The
+    /// bucket (rather than the raw sparsity) keeps small nnz fluctuations
+    /// from thrashing the plan cache while still recompiling when an
+    /// intermediate drifts between sparse and dense regimes.
+    pub fingerprint: Vec<(String, Option<(usize, usize, u8)>)>,
+}
+
+/// Coarse sparsity regime used in plan fingerprints: 0 = sparse (≤ 0.05,
+/// the usual CSR-worthwhile threshold), 1 = medium (≤ 0.4), 2 = dense,
+/// 3 = unknown.
+pub fn sparsity_bucket(sparsity: Option<f64>) -> u8 {
+    match sparsity {
+        Some(s) if s <= 0.05 => 0,
+        Some(s) if s <= 0.4 => 1,
+        Some(_) => 2,
+        None => 3,
+    }
 }
 
 /// Compute the fingerprint of the current environment for a block.
-pub fn env_fingerprint(block: &BasicBlock, env: &SizeEnv) -> Vec<(String, Option<(usize, usize)>)> {
-    let mut fp: Vec<(String, Option<(usize, usize)>)> = block
+pub fn env_fingerprint(
+    block: &BasicBlock,
+    env: &SizeEnv,
+) -> Vec<(String, Option<(usize, usize, u8)>)> {
+    let mut fp: Vec<(String, Option<(usize, usize, u8)>)> = block
         .live_ins()
         .into_iter()
         .map(|name| {
-            let dims = env
-                .get(&name)
-                .and_then(|s| Some((s.rows.value()?, s.cols.value()?)));
-            (name, dims)
+            let entry = env.get(&name).and_then(|s| {
+                Some((
+                    s.rows.value()?,
+                    s.cols.value()?,
+                    sparsity_bucket(s.sparsity),
+                ))
+            });
+            (name, entry)
         })
         .collect();
     fp.sort();
@@ -150,24 +173,51 @@ pub fn lower(block: &BasicBlock, env: &SizeEnv, config: &EngineConfig) -> Plan {
 /// initial unknowns").
 pub fn plan_for(block: &BasicBlock, env: &SizeEnv, config: &EngineConfig) -> std::sync::Arc<Plan> {
     let mut guard = block.plan.lock();
-    let mut recompile = false;
+    let mut trigger = None;
     if let Some(plan) = guard.as_ref() {
         if !config.dynamic_recompile {
             return plan.clone();
         }
-        if !plan.had_unknown && plan.fingerprint == env_fingerprint(block, env) {
+        let fp = env_fingerprint(block, env);
+        if !plan.had_unknown && plan.fingerprint == fp {
             return plan.clone();
         }
-        recompile = true;
+        // Attribute the recompile to its trigger: the previous plan was
+        // lowered with unknown sizes, a live-in changed dimensions, or a
+        // live-in drifted across a sparsity regime.
+        trigger = Some(if plan.had_unknown {
+            sysds_obs::RecompileTrigger::UnknownDims
+        } else {
+            let dims = |fp: &[(String, Option<(usize, usize, u8)>)]| -> Vec<(String, Option<(usize, usize)>)> {
+                fp.iter()
+                    .map(|(n, e)| (n.clone(), e.map(|(r, c, _)| (r, c))))
+                    .collect()
+            };
+            if dims(&plan.fingerprint) != dims(&fp) {
+                sysds_obs::RecompileTrigger::DimsChange
+            } else {
+                sysds_obs::RecompileTrigger::SparsityDrift
+            }
+        });
     }
-    let plan = if recompile {
+    let dist_count = |p: &Plan| p.instrs.iter().filter(|i| i.exec == ExecType::Dist).count();
+    let plan = if let Some(trigger) = trigger {
         let _span = sysds_obs::Span::enter(sysds_obs::Phase::Recompile, "recompile");
         if sysds_obs::stats_enabled() {
             sysds_obs::counters()
                 .recompiles
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            sysds_obs::audit::record_recompile(trigger);
         }
-        std::sync::Arc::new(lower(block, env, config))
+        let old_dist = guard.as_ref().map(|p| dist_count(p));
+        let plan = std::sync::Arc::new(lower(block, env, config));
+        // The new sizes moved instructions across the CP/Dist memory-budget
+        // boundary — record that separately: these recompiles change the
+        // execution strategy, not just slot sizes.
+        if sysds_obs::stats_enabled() && old_dist.is_some_and(|d| d != dist_count(&plan)) {
+            sysds_obs::audit::record_recompile(sysds_obs::RecompileTrigger::BudgetCrossing);
+        }
+        plan
     } else {
         std::sync::Arc::new(lower(block, env, config))
     };
@@ -229,6 +279,31 @@ mod tests {
         let env2 = size_env(&[("X", 50, 5)]);
         let p3 = plan_for(block, &env2, &config);
         assert!(!std::sync::Arc::ptr_eq(&p1, &p3));
+    }
+
+    #[test]
+    fn sparsity_regime_drift_recompiles_but_jitter_does_not() {
+        let program =
+            compile_program(&parse_program("y = t(X) %*% X").unwrap(), &|_| None).unwrap();
+        let crate::compiler::Block::Basic(block) = &program.blocks[0] else {
+            panic!()
+        };
+        let config = EngineConfig::default();
+        let env_sp = |sp: f64| {
+            let mut env = SizeEnv::default();
+            env.insert("X".into(), SizeInfo::matrix(100, 5, Some(sp)));
+            env
+        };
+        let p1 = plan_for(block, &env_sp(0.01), &config);
+        // Jitter within the sparse bucket (≤ 0.05) reuses the plan.
+        let p2 = plan_for(block, &env_sp(0.04), &config);
+        assert!(std::sync::Arc::ptr_eq(&p1, &p2));
+        // Drifting into the dense regime recompiles.
+        let p3 = plan_for(block, &env_sp(0.9), &config);
+        assert!(!std::sync::Arc::ptr_eq(&p1, &p3));
+        assert_eq!(sparsity_bucket(Some(0.01)), sparsity_bucket(Some(0.04)));
+        assert_ne!(sparsity_bucket(Some(0.01)), sparsity_bucket(Some(0.9)));
+        assert_eq!(sparsity_bucket(None), 3);
     }
 
     #[test]

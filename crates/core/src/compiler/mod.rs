@@ -13,6 +13,7 @@
 //! optimizer can reason about the end-to-end computation (Example 1).
 
 pub mod autodiff;
+pub mod explain;
 pub mod hop;
 pub mod lower;
 pub mod rewrites;

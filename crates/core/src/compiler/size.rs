@@ -320,15 +320,13 @@ fn select_exec(dag: &HopDag, id: HopId, config: &EngineConfig) -> ExecType {
     // CP if the operation's footprint (inputs + output) fits in the budget;
     // unknown sizes stay CP until recompilation learns them (optimistic,
     // like SystemML's default with recompilation enabled).
-    let mut footprint = node.size.memory_estimate();
-    if footprint == usize::MAX {
+    let Some(mut footprint) = node.size.memory_estimate() else {
         return ExecType::Cp;
-    }
+    };
     for &i in &node.inputs {
-        let m = dag.node(i).size.memory_estimate();
-        if m == usize::MAX {
+        let Some(m) = dag.node(i).size.memory_estimate() else {
             return ExecType::Cp;
-        }
+        };
         footprint = footprint.saturating_add(m);
     }
     if footprint > config.memory_budget {
@@ -468,6 +466,114 @@ mod tests {
         env.insert("Y".into(), SizeInfo::matrix(10, 2, Some(1.0)));
         propagate(&mut dag, &env, &EngineConfig::default(), &[cb]);
         assert_eq!(dag.node(cb).size.cols, Dim::Known(7));
+    }
+
+    #[test]
+    fn transpose_chain_propagates_dims_and_sparsity() {
+        // t(t(X)) %*% X : dims and sparsity must survive a transpose chain.
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let t1 = dag.add(HopOp::Transpose, vec![x]);
+        let t2 = dag.add(HopOp::Transpose, vec![t1]);
+        let mm = dag.add(HopOp::MatMul, vec![t1, x]);
+        let mut env = SizeEnv::default();
+        env.insert("X".into(), SizeInfo::matrix(20, 6, Some(0.25)));
+        let unknown = propagate(&mut dag, &env, &EngineConfig::default(), &[t2, mm]);
+        assert!(!unknown);
+        assert_eq!(dag.node(t1).size.rows, Dim::Known(6));
+        assert_eq!(dag.node(t1).size.cols, Dim::Known(20));
+        assert_eq!(dag.node(t1).size.sparsity, Some(0.25));
+        assert_eq!(dag.node(t2).size.rows, Dim::Known(20));
+        assert_eq!(dag.node(t2).size.cols, Dim::Known(6));
+        assert_eq!(dag.node(mm).size.rows, Dim::Known(6));
+        assert_eq!(dag.node(mm).size.cols, Dim::Known(6));
+    }
+
+    #[test]
+    fn elementwise_chain_takes_min_sparsity() {
+        // (X * Y) + Z : multiply is zero-preserving (min sparsity), the
+        // subsequent add with a dense operand densifies the worst case via
+        // min(sp, 1.0) = sp of the sparse side.
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let y = dag.add(HopOp::Var("Y".into()), vec![]);
+        let mul = dag.add(HopOp::Binary(BinaryOp::Mul), vec![x, y]);
+        let mut env = SizeEnv::default();
+        env.insert("X".into(), SizeInfo::matrix(8, 8, Some(0.5)));
+        env.insert("Y".into(), SizeInfo::matrix(8, 8, Some(0.1)));
+        let unknown = propagate(&mut dag, &env, &EngineConfig::default(), &[mul]);
+        assert!(!unknown);
+        let s = dag.node(mul).size;
+        assert_eq!(s.rows, Dim::Known(8));
+        assert_eq!(s.cols, Dim::Known(8));
+        assert_eq!(s.sparsity, Some(0.1));
+    }
+
+    #[test]
+    fn aggregation_chain_shapes() {
+        // colSums(X) -> 1xC, then rowSums of that -> 1x1 (matrix), and a
+        // full-aggregate sum(X) -> scalar.
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let cs = dag.add(
+            HopOp::Agg(sysds_tensor::kernels::AggFn::Sum, Direction::Col),
+            vec![x],
+        );
+        let rs = dag.add(
+            HopOp::Agg(sysds_tensor::kernels::AggFn::Sum, Direction::Row),
+            vec![cs],
+        );
+        let full = dag.add(
+            HopOp::Agg(sysds_tensor::kernels::AggFn::Sum, Direction::Full),
+            vec![x],
+        );
+        let unknown = propagate(
+            &mut dag,
+            &env_with("X", 50, 9),
+            &EngineConfig::default(),
+            &[rs, full],
+        );
+        assert!(!unknown);
+        assert_eq!(dag.node(cs).size.rows, Dim::Known(1));
+        assert_eq!(dag.node(cs).size.cols, Dim::Known(9));
+        assert_eq!(dag.node(rs).size.rows, Dim::Known(1));
+        assert_eq!(dag.node(rs).size.cols, Dim::Known(1));
+        assert!(dag.node(full).size.scalar);
+    }
+
+    #[test]
+    fn exec_selection_at_exact_budget_boundary() {
+        // tsmm(X) with X 1000x50 dense: footprint = est(X) + est(t(X)X).
+        let input_est = SizeInfo::matrix(1000, 50, Some(1.0))
+            .memory_estimate()
+            .unwrap();
+        let out_est = SizeInfo::matrix(50, 50, None).memory_estimate().unwrap();
+        let footprint = input_est + out_est;
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let g = dag.add(HopOp::Tsmm, vec![x]);
+        // Budget exactly equal to the footprint: fits, stays CP.
+        let config = EngineConfig::default().budget(footprint);
+        propagate(&mut dag, &env_with("X", 1000, 50), &config, &[g]);
+        assert_eq!(dag.node(g).exec, ExecType::Cp);
+        // One byte below: crosses the budget, goes distributed.
+        let config = EngineConfig::default().budget(footprint - 1);
+        propagate(&mut dag, &env_with("X", 1000, 50), &config, &[g]);
+        assert_eq!(dag.node(g).exec, ExecType::Dist);
+    }
+
+    #[test]
+    fn unknown_dims_stay_cp_even_under_tiny_budget() {
+        // Unknown sizes must not be treated as infinite: optimistic CP until
+        // dynamic recompilation learns the real dims.
+        let mut dag = HopDag::new();
+        let x = dag.add(HopOp::Var("X".into()), vec![]);
+        let g = dag.add(HopOp::Tsmm, vec![x]);
+        let config = EngineConfig::default().budget(1);
+        let unknown = propagate(&mut dag, &SizeEnv::default(), &config, &[g]);
+        assert!(unknown);
+        assert_eq!(dag.node(g).size.memory_estimate(), None);
+        assert_eq!(dag.node(g).exec, ExecType::Cp);
     }
 
     #[test]

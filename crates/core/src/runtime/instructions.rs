@@ -39,6 +39,11 @@ impl ExecCtx {
             sysds_obs::enable_trace(path)
                 .map_err(|e| SysDsError::runtime(format!("cannot open trace file: {e}")))?;
         }
+        if config.chrome_trace_file.is_some() {
+            // Buffer spans in memory; the caller exports them as Chrome
+            // trace_event JSON after the run (see `SystemDS`/CLI).
+            sysds_obs::enable_memory_trace();
+        }
         let pool = Arc::new(BufferPool::new(
             config.buffer_pool_limit,
             config.spill_dir.clone(),
@@ -121,11 +126,38 @@ pub fn execute(
                 .iter()
                 .map(|&i| slots[i].as_ref().expect("inputs computed before use"))
                 .collect();
-            execute_op(op, instr.exec, &inputs, ctx)?
+            let out = execute_op(op, instr.exec, &inputs, ctx)?;
+            if sysds_obs::stats_enabled() {
+                audit_output(instr, &out.data);
+            }
+            out
         }
     };
     slots[instr.out] = Some(out);
     Ok(())
+}
+
+/// Feed the estimate-vs-actual audit: compare the instruction's
+/// compile-time `SizeInfo` against the materialized output (paper §2.3's
+/// memory estimates, validated instead of trusted).
+fn audit_output(instr: &Instr, data: &Data) {
+    let Data::Matrix(h) = data else { return };
+    let Some((rows, cols)) = h.shape() else {
+        return;
+    };
+    let actual_bytes = Matrix::estimate_size(rows, cols, h.sparsity().unwrap_or(1.0));
+    let est = sysds_obs::EstimateInfo {
+        rows: instr.size.rows.value().map(|v| v as u64),
+        cols: instr.size.cols.value().map(|v| v as u64),
+        bytes: instr.size.memory_estimate().map(|v| v as u64),
+    };
+    sysds_obs::audit::record(
+        &instr.op.opcode(),
+        &est,
+        rows as u64,
+        cols as u64,
+        actual_bytes as u64,
+    );
 }
 
 fn trace_enabled(ctx: &ExecCtx) -> bool {

@@ -1,0 +1,369 @@
+//! Estimate-vs-actual audit: validating the compiler's size and memory
+//! estimates against what the runtime actually produced.
+//!
+//! The optimizer picks execution types (CP vs distributed) and decides
+//! when to recompile based on compile-time `SizeInfo` estimates. This
+//! module keeps a per-opcode table of how those estimates compared to the
+//! observed outputs (residual = actual bytes / estimated bytes), plus a
+//! per-trigger attribution of every dynamic recompile. Like the registry,
+//! cells are lock-light: a `RwLock<HashMap>` is read-locked on the common
+//! path and all mutation inside a cell is relaxed atomics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Residuals are accumulated as fixed-point milli-units (ratio × 1000) so
+/// cells stay plain `AtomicU64`s. Capped to keep sums from overflowing.
+const RESID_SCALE: f64 = 1000.0;
+const RESID_CAP_MILLI: u64 = 1_000_000_000; // ratio cap of 1e6
+
+/// Compile-time knowledge about one instruction's output, as recorded by
+/// the runtime next to the observed actuals.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EstimateInfo {
+    /// Estimated output rows, if known at compile time.
+    pub rows: Option<u64>,
+    /// Estimated output columns, if known at compile time.
+    pub cols: Option<u64>,
+    /// Estimated output memory in bytes, if dims were known.
+    pub bytes: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct AuditCell {
+    /// Matrix outputs observed for this opcode.
+    count: AtomicU64,
+    /// Outputs whose compile-time estimate was unknown (no dims).
+    unknown_est: AtomicU64,
+    /// Outputs whose estimated dims were known but wrong.
+    dim_mismatches: AtomicU64,
+    /// Sum of estimated bytes over rows with an estimate.
+    est_bytes: AtomicU64,
+    /// Sum of actual bytes over rows with an estimate.
+    actual_bytes: AtomicU64,
+    /// Sum of per-row residuals (actual/estimated) in milli-units.
+    resid_milli_sum: AtomicU64,
+    /// Largest per-row residual in milli-units.
+    resid_milli_max: AtomicU64,
+}
+
+impl AuditCell {
+    fn record(&self, est: &EstimateInfo, actual_rows: u64, actual_cols: u64, actual_bytes: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let Some(est_bytes) = est.bytes else {
+            self.unknown_est.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if est.rows.is_some_and(|r| r != actual_rows) || est.cols.is_some_and(|c| c != actual_cols)
+        {
+            self.dim_mismatches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.est_bytes.fetch_add(est_bytes, Ordering::Relaxed);
+        self.actual_bytes.fetch_add(actual_bytes, Ordering::Relaxed);
+        let ratio = actual_bytes as f64 / est_bytes.max(1) as f64;
+        let milli = ((ratio * RESID_SCALE) as u64).min(RESID_CAP_MILLI);
+        self.resid_milli_sum.fetch_add(milli, Ordering::Relaxed);
+        self.resid_milli_max.fetch_max(milli, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of one opcode's estimate-vs-actual audit cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRow {
+    pub opcode: String,
+    /// Matrix outputs observed.
+    pub count: u64,
+    /// Outputs that had no compile-time estimate (unknown dims).
+    pub unknown_est: u64,
+    /// Outputs whose estimated dims were known but differed from actuals.
+    pub dim_mismatches: u64,
+    /// Total estimated bytes (rows with an estimate only).
+    pub est_bytes: u64,
+    /// Total actual bytes (rows with an estimate only).
+    pub actual_bytes: u64,
+    /// Mean residual actual/estimated over rows with an estimate.
+    pub mean_residual: f64,
+    /// Worst single-output residual actual/estimated.
+    pub max_residual: f64,
+}
+
+impl AuditRow {
+    /// How far the worst residual strays from a perfect 1.0 estimate, in
+    /// log space (over- and under-estimation rank symmetrically).
+    fn badness(&self) -> f64 {
+        if self.count == self.unknown_est {
+            // No estimates at all: rank below any row with a measurable
+            // residual but above perfect rows.
+            return 0.0;
+        }
+        self.max_residual.max(1e-9).ln().abs()
+    }
+}
+
+fn table() -> &'static RwLock<HashMap<String, Arc<AuditCell>>> {
+    static TABLE: OnceLock<RwLock<HashMap<String, Arc<AuditCell>>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Record one instruction's actual matrix output against its compile-time
+/// estimate.
+pub fn record(
+    opcode: &str,
+    est: &EstimateInfo,
+    actual_rows: u64,
+    actual_cols: u64,
+    actual_bytes: u64,
+) {
+    let shard = table();
+    {
+        let map = shard.read().expect("obs audit poisoned");
+        if let Some(cell) = map.get(opcode) {
+            cell.record(est, actual_rows, actual_cols, actual_bytes);
+            return;
+        }
+    }
+    let mut map = shard.write().expect("obs audit poisoned");
+    map.entry(opcode.to_string())
+        .or_insert_with(|| Arc::new(AuditCell::default()))
+        .record(est, actual_rows, actual_cols, actual_bytes);
+}
+
+/// Snapshot every audit cell, unsorted.
+pub fn snapshot() -> Vec<AuditRow> {
+    let map = table().read().expect("obs audit poisoned");
+    map.iter()
+        .map(|(opcode, cell)| {
+            let count = cell.count.load(Ordering::Relaxed);
+            let unknown_est = cell.unknown_est.load(Ordering::Relaxed);
+            let with_est = count.saturating_sub(unknown_est);
+            let sum_milli = cell.resid_milli_sum.load(Ordering::Relaxed);
+            AuditRow {
+                opcode: opcode.clone(),
+                count,
+                unknown_est,
+                dim_mismatches: cell.dim_mismatches.load(Ordering::Relaxed),
+                est_bytes: cell.est_bytes.load(Ordering::Relaxed),
+                actual_bytes: cell.actual_bytes.load(Ordering::Relaxed),
+                mean_residual: if with_est == 0 {
+                    0.0
+                } else {
+                    sum_milli as f64 / RESID_SCALE / with_est as f64
+                },
+                max_residual: cell.resid_milli_max.load(Ordering::Relaxed) as f64 / RESID_SCALE,
+            }
+        })
+        .collect()
+}
+
+/// The `k` opcodes whose estimates were furthest from reality, worst
+/// first (residual distance from 1.0 in log space; ties by opcode).
+pub fn worst_offenders(k: usize) -> Vec<AuditRow> {
+    let mut rows = snapshot();
+    rows.sort_by(|a, b| {
+        b.badness()
+            .partial_cmp(&a.badness())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.unknown_est.cmp(&a.unknown_est))
+            .then_with(|| a.opcode.cmp(&b.opcode))
+    });
+    rows.truncate(k);
+    rows
+}
+
+/// Render audit rows as an aligned table for the `--stats` report.
+pub fn render_audit_table(rows: &[AuditRow]) -> String {
+    let op_width = rows
+        .iter()
+        .map(|r| r.opcode.len())
+        .chain(std::iter::once("Opcode".len()))
+        .max()
+        .unwrap_or(6);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:>3}  {:<op_width$}  {:>8}  {:>10}  {:>10}  {:>9}  {:>9}  {:>6}  {:>7}\n",
+        "#", "Opcode", "Count", "Est(KB)", "Act(KB)", "MeanResid", "MaxResid", "NoEst", "DimMiss",
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {:>3}  {:<op_width$}  {:>8}  {:>10.1}  {:>10.1}  {:>9.3}  {:>9.3}  {:>6}  {:>7}\n",
+            i + 1,
+            r.opcode,
+            r.count,
+            r.est_bytes as f64 / 1024.0,
+            r.actual_bytes as f64 / 1024.0,
+            r.mean_residual,
+            r.max_residual,
+            r.unknown_est,
+            r.dim_mismatches,
+        ));
+    }
+    out
+}
+
+/// Why a block plan was re-lowered (paper §2.3 (3): dynamic recompilation
+/// "to mitigate initial unknowns").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecompileTrigger {
+    /// The cached plan was lowered with unknown dims somewhere in the DAG.
+    UnknownDims,
+    /// A live-in's dimensions changed since the plan was lowered.
+    DimsChange,
+    /// A live-in's sparsity drifted across a bucket boundary.
+    SparsityDrift,
+    /// The recompiled plan crossed the memory budget: its CP/distributed
+    /// operator split differs from the replaced plan's.
+    BudgetCrossing,
+}
+
+static TRIGGER_COUNTS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+fn trigger_index(t: RecompileTrigger) -> usize {
+    match t {
+        RecompileTrigger::UnknownDims => 0,
+        RecompileTrigger::DimsChange => 1,
+        RecompileTrigger::SparsityDrift => 2,
+        RecompileTrigger::BudgetCrossing => 3,
+    }
+}
+
+/// Attribute one dynamic recompile to its trigger. A single recompile may
+/// record [`RecompileTrigger::BudgetCrossing`] in addition to its cause.
+pub fn record_recompile(trigger: RecompileTrigger) {
+    TRIGGER_COUNTS[trigger_index(trigger)].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Plain-integer snapshot of the recompile-trigger attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecompileTriggers {
+    pub unknown_dims: u64,
+    pub dims_change: u64,
+    pub sparsity_drift: u64,
+    pub budget_crossings: u64,
+}
+
+impl RecompileTriggers {
+    /// Recompiles attributed to a cause (budget crossings are a side
+    /// classification, not a cause).
+    pub fn total(&self) -> u64 {
+        self.unknown_dims + self.dims_change + self.sparsity_drift
+    }
+
+    /// One-line rendering for the `--stats` report.
+    pub fn render(&self) -> String {
+        format!(
+            "unknown dims {}, dims change {}, sparsity drift {}, budget crossings {}",
+            self.unknown_dims, self.dims_change, self.sparsity_drift, self.budget_crossings
+        )
+    }
+}
+
+/// Read the recompile-trigger counters.
+pub fn recompile_triggers() -> RecompileTriggers {
+    RecompileTriggers {
+        unknown_dims: TRIGGER_COUNTS[0].load(Ordering::Relaxed),
+        dims_change: TRIGGER_COUNTS[1].load(Ordering::Relaxed),
+        sparsity_drift: TRIGGER_COUNTS[2].load(Ordering::Relaxed),
+        budget_crossings: TRIGGER_COUNTS[3].load(Ordering::Relaxed),
+    }
+}
+
+/// Clear the audit table and trigger counters.
+pub fn reset() {
+    table().write().expect("obs audit poisoned").clear();
+    for c in &TRIGGER_COUNTS {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residuals_accumulate_per_opcode() {
+        let est = EstimateInfo {
+            rows: Some(10),
+            cols: Some(10),
+            bytes: Some(800),
+        };
+        // Perfect estimate, then a 2x overshoot by the runtime.
+        record("audit-test-a", &est, 10, 10, 800);
+        record("audit-test-a", &est, 20, 10, 1600);
+        let rows = snapshot();
+        let r = rows.iter().find(|r| r.opcode == "audit-test-a").unwrap();
+        assert_eq!(r.count, 2);
+        assert_eq!(r.unknown_est, 0);
+        assert_eq!(r.dim_mismatches, 1, "second output had 20 rows, not 10");
+        assert_eq!(r.est_bytes, 1600);
+        assert_eq!(r.actual_bytes, 2400);
+        assert!((r.mean_residual - 1.5).abs() < 1e-9, "{}", r.mean_residual);
+        assert!((r.max_residual - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_estimates_counted_separately() {
+        record("audit-test-unknown", &EstimateInfo::default(), 5, 5, 200);
+        let rows = snapshot();
+        let r = rows
+            .iter()
+            .find(|r| r.opcode == "audit-test-unknown")
+            .unwrap();
+        assert_eq!(r.count, 1);
+        assert_eq!(r.unknown_est, 1);
+        assert_eq!(r.est_bytes, 0, "no estimate, nothing accumulated");
+        assert_eq!(r.mean_residual, 0.0);
+    }
+
+    #[test]
+    fn worst_offenders_rank_by_residual_distance() {
+        let est = EstimateInfo {
+            rows: Some(1),
+            cols: Some(1),
+            bytes: Some(1000),
+        };
+        record("audit-rank-good", &est, 1, 1, 1000); // residual 1.0
+        record("audit-rank-bad", &est, 1, 1, 8000); // residual 8.0
+        record("audit-rank-under", &est, 1, 1, 100); // residual 0.1
+        let rows = worst_offenders(100);
+        let pos = |name: &str| rows.iter().position(|r| r.opcode == name).unwrap();
+        assert!(pos("audit-rank-under") < pos("audit-rank-good"));
+        assert!(pos("audit-rank-bad") < pos("audit-rank-good"));
+    }
+
+    #[test]
+    fn recompile_triggers_count_and_render() {
+        record_recompile(RecompileTrigger::UnknownDims);
+        record_recompile(RecompileTrigger::DimsChange);
+        record_recompile(RecompileTrigger::BudgetCrossing);
+        let t = recompile_triggers();
+        assert!(t.unknown_dims >= 1);
+        assert!(t.dims_change >= 1);
+        assert!(t.budget_crossings >= 1);
+        assert!(t.total() >= 2);
+        assert!(t.render().contains("unknown dims"));
+    }
+
+    #[test]
+    fn audit_table_renders_rows() {
+        let est = EstimateInfo {
+            rows: Some(2),
+            cols: Some(2),
+            bytes: Some(32),
+        };
+        record("audit-render", &est, 2, 2, 32);
+        let rows: Vec<AuditRow> = snapshot()
+            .into_iter()
+            .filter(|r| r.opcode == "audit-render")
+            .collect();
+        let text = render_audit_table(&rows);
+        assert!(text.contains("Opcode"));
+        assert!(text.contains("audit-render"));
+        assert!(text.contains("MaxResid"));
+    }
+}

@@ -10,7 +10,13 @@
 //!   federated requests, with parent/child linking through a thread-local
 //!   span stack and worker attribution through a thread-local worker id;
 //! * a **JSONL trace sink** ([`trace`]): one record per finished span,
-//!   machine-parseable with [`trace::parse_record`] (no serde needed).
+//!   machine-parseable with [`trace::parse_record`] (no serde needed);
+//! * an **estimate-vs-actual audit** ([`audit`]): per-opcode residuals of
+//!   compile-time size/memory estimates against observed outputs, plus
+//!   per-trigger attribution of dynamic recompiles;
+//! * a **Chrome-trace exporter** ([`chrome_trace`]): converts buffered
+//!   span records ([`enable_memory_trace`]) into `trace_event` JSON for
+//!   `chrome://tracing` / Perfetto.
 //!
 //! Everything is disabled by default. The fast path for a disabled
 //! observer is a single relaxed atomic load ([`enabled`]) — no mutex, no
@@ -18,11 +24,15 @@
 //! on the registry; enabling tracing ([`enable_trace`]) additionally
 //! appends every span to a JSONL file.
 
+pub mod audit;
+pub mod chrome_trace;
 pub mod registry;
 pub mod report;
 pub mod span;
 pub mod trace;
 
+pub use audit::{AuditRow, EstimateInfo, RecompileTrigger, RecompileTriggers};
+pub use chrome_trace::{parse_events, ChromeEvent};
 pub use registry::{counters, CounterSnapshot, Counters, HeavyHitter, OpStats, Phase};
 pub use span::{set_worker, Span, WorkerGuard};
 pub use trace::{parse_record, TraceRecord};
@@ -73,15 +83,32 @@ pub fn enable_trace(path: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Start buffering span records in memory (for post-run export, e.g. the
+/// Chrome-trace sink). Composes with [`enable_trace`]: when both are on,
+/// every record goes to the file and the buffer.
+pub fn enable_memory_trace() {
+    trace::open_memory();
+    FLAGS.fetch_or(TRACE_BIT, Ordering::Relaxed);
+}
+
+/// Take all span records buffered by [`enable_memory_trace`] and stop the
+/// memory sink. Leaves the trace flag untouched when a file sink is still
+/// open; call [`disable_trace`] to stop tracing entirely.
+pub fn take_memory_trace() -> Vec<TraceRecord> {
+    trace::drain_memory()
+}
+
 /// Stop tracing and flush/close the sink.
 pub fn disable_trace() {
     FLAGS.fetch_and(!TRACE_BIT, Ordering::Relaxed);
     trace::close();
 }
 
-/// Reset all counters and timing cells (flags are left as they are).
+/// Reset all counters, timing cells, and audit tables (flags are left as
+/// they are).
 pub fn reset() {
     registry::reset();
+    audit::reset();
 }
 
 /// Serializes unit tests that mutate the global flags or trace sink;

@@ -19,6 +19,9 @@ use std::sync::Mutex;
 
 static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
 
+/// Optional in-memory sink (Chrome-trace export buffers records here).
+static MEM_SINK: Mutex<Option<Vec<TraceRecord>>> = Mutex::new(None);
+
 /// One span record, as written to (and parsed from) the trace file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
@@ -58,7 +61,21 @@ pub fn flush() {
     }
 }
 
-fn escape_into(out: &mut String, s: &str) {
+/// Start buffering records in memory (in addition to any file sink).
+pub(crate) fn open_memory() {
+    *MEM_SINK.lock().unwrap_or_else(|e| e.into_inner()) = Some(Vec::new());
+}
+
+/// Take all buffered in-memory records and stop the memory sink.
+pub(crate) fn drain_memory() -> Vec<TraceRecord> {
+    MEM_SINK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .unwrap_or_default()
+}
+
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -102,11 +119,17 @@ impl TraceRecord {
     }
 }
 
-/// Append one record to the sink (no-op when no sink is open).
+/// Append one record to the open sinks (no-op when none is open).
 pub(crate) fn write(rec: &TraceRecord) {
-    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(w) = guard.as_mut() {
-        let _ = writeln!(w, "{}", rec.to_json());
+    {
+        let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(w) = guard.as_mut() {
+            let _ = writeln!(w, "{}", rec.to_json());
+        }
+    }
+    let mut mem = MEM_SINK.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(buf) = mem.as_mut() {
+        buf.push(rec.clone());
     }
 }
 
@@ -217,7 +240,9 @@ fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
 
 /// Parse a JSON string body after the opening quote, consuming the
 /// closing quote.
-fn parse_string_body(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+pub(crate) fn parse_string_body(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Option<String> {
     let mut out = String::new();
     loop {
         match chars.next()? {
@@ -292,6 +317,106 @@ mod tests {
             worker: None,
         };
         assert_eq!(parse_record(&rec.to_json()).unwrap().op, rec.op);
+    }
+
+    #[test]
+    fn quotes_and_backslashes_round_trip() {
+        for op in [
+            r#"a"b"#,
+            r"a\b",
+            r#"\""#,
+            r#""\"#,
+            r"\\\\",
+            r#"end with quote""#,
+            r#""start with quote"#,
+            r#"mix \" of \\ both \n"#,
+        ] {
+            let rec = TraceRecord {
+                id: 9,
+                parent: 0,
+                phase: format!("p-{op}"),
+                op: op.to_string(),
+                start_ns: 0,
+                dur_ns: 0,
+                thread: 0,
+                worker: None,
+            };
+            let parsed = parse_record(&rec.to_json())
+                .unwrap_or_else(|| panic!("unparseable for op {op:?}: {}", rec.to_json()));
+            assert_eq!(parsed, rec, "round trip for {op:?}");
+        }
+    }
+
+    #[test]
+    fn control_characters_round_trip() {
+        // Every C0 control char, plus the common named escapes.
+        let mut op = String::new();
+        for c in 0u32..0x20 {
+            op.push(char::from_u32(c).unwrap());
+        }
+        op.push_str("\n\r\t\u{7f}");
+        let rec = TraceRecord {
+            id: 10,
+            parent: 0,
+            phase: "ctrl".into(),
+            op: op.clone(),
+            start_ns: 0,
+            dur_ns: 0,
+            thread: 0,
+            worker: None,
+        };
+        let line = rec.to_json();
+        assert!(
+            !line.chars().any(|c| (c as u32) < 0x20),
+            "raw control chars must never reach the wire: {line:?}"
+        );
+        assert_eq!(parse_record(&line).unwrap().op, op);
+    }
+
+    #[test]
+    fn non_ascii_and_astral_round_trip() {
+        let rec = TraceRecord {
+            id: 11,
+            parent: 0,
+            phase: "unicode".into(),
+            op: "öp-𝛴-矩阵".into(),
+            start_ns: 0,
+            dur_ns: 0,
+            thread: 0,
+            worker: None,
+        };
+        assert_eq!(parse_record(&rec.to_json()).unwrap(), rec);
+    }
+
+    #[test]
+    fn memory_sink_buffers_and_drains() {
+        let _g = crate::test_flag_guard();
+        open_memory();
+        let rec = TraceRecord {
+            id: 77,
+            parent: 0,
+            phase: "instruction".into(),
+            op: "mem-sink".into(),
+            start_ns: 1,
+            dur_ns: 2,
+            thread: 0,
+            worker: Some(1),
+        };
+        write(&rec);
+        let drained = drain_memory();
+        assert_eq!(drained, vec![rec]);
+        // Drained sink is closed: further writes are dropped.
+        write(&TraceRecord {
+            id: 78,
+            parent: 0,
+            phase: "instruction".into(),
+            op: "dropped".into(),
+            start_ns: 0,
+            dur_ns: 0,
+            thread: 0,
+            worker: None,
+        });
+        assert!(drain_memory().is_empty());
     }
 
     #[test]

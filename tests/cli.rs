@@ -63,6 +63,7 @@ fn stats_and_explain_flags() {
     assert!(out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("compiled program"), "{err}");
+    assert!(err.contains("EXPLAIN (HOPS):"), "{err}");
     assert!(err.contains("Lineage cache:"), "{err}");
     assert!(err.contains("Heavy hitter instructions:"), "{err}");
 }
