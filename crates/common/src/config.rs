@@ -43,6 +43,9 @@ pub struct EngineConfig {
     pub block_size: usize,
     /// Enable dynamic recompilation of blocks with unknown sizes.
     pub dynamic_recompile: bool,
+    /// Fuse single-consumer cell-wise chains (and aggregates over them)
+    /// into one-pass `Fused` operators during lowering.
+    pub fusion: bool,
     /// Collect runtime statistics (heavy hitters, counters) for reporting.
     pub stats: bool,
     /// When set, append one JSONL span record per instrumented region to
@@ -70,6 +73,7 @@ impl Default for EngineConfig {
             native_blas: false,
             block_size: 1024,
             dynamic_recompile: true,
+            fusion: true,
             stats: false,
             trace_file: None,
             chrome_trace_file: None,
@@ -112,6 +116,12 @@ impl EngineConfig {
         if policy != ReusePolicy::None {
             self.lineage = true;
         }
+        self
+    }
+
+    /// Builder-style setter for operator fusion (`--no-fusion` disables).
+    pub fn fusion(mut self, enabled: bool) -> Self {
+        self.fusion = enabled;
         self
     }
 

@@ -375,6 +375,13 @@ impl RunReport {
                 c.fed_request_nanos as f64 / 1e9
             );
         }
+        if c.fusion_hits > 0 {
+            let _ = writeln!(
+                out,
+                "Fused ops: {} hits, {} bytes of intermediates avoided",
+                c.fusion_hits, c.fusion_bytes_saved
+            );
+        }
         if !self.audit.is_empty() {
             out.push_str("Estimate vs actual (worst offenders):\n");
             out.push_str(&sysds_obs::audit::render_audit_table(&self.audit));
@@ -537,20 +544,56 @@ mod tests {
         config.stats = true;
         let mut s = SystemDS::with_config(config).unwrap();
         // Matrix ops so that instructions actually execute (pure scalar
-        // arithmetic constant-folds to a literal bind — zero instructions).
+        // arithmetic constant-folds to a literal bind — zero instructions),
+        // plus a cell-wise chain the fusion pass collapses.
         s.execute(
-            "X = rand(rows=8, cols=4, seed=7)\ny = sum(X %*% t(X))",
+            "X = rand(rows=8, cols=4, seed=7)\ny = sum(X %*% t(X))\n\
+             Y = rand(rows=8, cols=4, seed=8)\nz = sum((X - Y)^2)",
             &[],
-            &["y"],
+            &["y", "z"],
         )
         .unwrap();
         let report = s.run_report();
         assert!(!report.heavy_hitters.is_empty());
+        assert!(report.counters.fusion_hits >= 1, "fused chain must fire");
         let text = report.render();
         assert!(text.contains("Heavy hitter instructions:"));
         assert!(text.contains("Buffer pool:"));
         assert!(text.contains("Lineage cache:"));
         assert!(text.contains("Recompiles:"));
+        assert!(text.contains("Fused ops:"), "{text}");
+    }
+
+    #[test]
+    fn fusion_matches_unfused_execution() {
+        let script = "d = sum((X - Y)^2)\nS = exp(-X) * Y\nr = colSums((X * Y) + 1)";
+        let x = gen::rand_uniform(40, 7, -1.0, 1.0, 1.0, 601);
+        let y = gen::rand_uniform(40, 7, -1.0, 1.0, 1.0, 602);
+        let inputs = |s: &SystemDS| {
+            vec![
+                ("X", s.matrix(x.clone()).unwrap()),
+                ("Y", s.matrix(y.clone()).unwrap()),
+            ]
+        };
+        let mut fused = session();
+        let a = fused
+            .execute(script, &inputs(&fused), &["d", "S", "r"])
+            .unwrap();
+        let mut config = EngineConfig::default().fusion(false);
+        config.spill_dir = std::env::temp_dir().join("sysds-api-tests");
+        let mut plain = SystemDS::with_config(config).unwrap();
+        let b = plain
+            .execute(script, &inputs(&plain), &["d", "S", "r"])
+            .unwrap();
+        assert!((a.f64("d").unwrap() - b.f64("d").unwrap()).abs() < 1e-9);
+        assert!(a
+            .matrix("S")
+            .unwrap()
+            .approx_eq(&b.matrix("S").unwrap(), 1e-9));
+        assert!(a
+            .matrix("r")
+            .unwrap()
+            .approx_eq(&b.matrix("r").unwrap(), 1e-9));
     }
 
     #[test]

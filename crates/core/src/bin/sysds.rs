@@ -27,6 +27,7 @@ fn usage() -> ! {
            --reuse            enable lineage tracing + full/partial reuse\n\
            --blas             use the optimized (BLAS-like) kernels\n\
            --no-recompile     disable dynamic recompilation\n\
+           --no-fusion        disable cell-wise operator fusion\n\
            --stats            print heavy-hitter, buffer-pool, cache and\n\
                               estimate-vs-actual statistics after execution\n\
            --trace FILE       write one JSONL span record per compiler\n\
@@ -79,6 +80,7 @@ fn main() -> ExitCode {
             "--reuse" => config = config.reuse_policy(ReusePolicy::FullAndPartial),
             "--blas" => config.native_blas = true,
             "--no-recompile" => config.dynamic_recompile = false,
+            "--no-fusion" => config.fusion = false,
             "--stats" => {
                 stats = true;
                 config.stats = true;

@@ -205,12 +205,16 @@ fn explain_basic(
     indent: usize,
     out: &mut String,
 ) {
-    // Same pipeline as lowering: propagate, dynamic rewrites, re-propagate.
+    // Same pipeline as lowering: propagate, dynamic rewrites,
+    // re-propagate, fuse — so `--explain hops` shows fused templates.
     let mut dag = block.dag.clone();
     let roots: Vec<HopId> = block.roots.iter().map(Root::id).collect();
     propagate(&mut dag, env, config, &roots);
     rewrites::rewrite_dynamic(&mut dag);
     propagate(&mut dag, env, config, &roots);
+    if config.fusion {
+        super::fusion::fuse(&mut dag, &roots);
+    }
 
     match level {
         ExplainLevel::Hops => {

@@ -7,8 +7,10 @@
 //! annotates every node with dimensions and sparsity for memory estimates
 //! and operator selection.
 
+use std::sync::Arc;
 use sysds_common::hash::FxHashMap;
 use sysds_common::{ScalarValue, ValueType};
+use sysds_tensor::kernels::fused::FusedTemplate;
 use sysds_tensor::kernels::{AggFn, BinaryOp, Direction, UnaryOp};
 use sysds_tensor::Matrix;
 
@@ -36,6 +38,10 @@ pub enum HopOp {
     Transpose,
     /// Aggregation.
     Agg(AggFn, Direction),
+    /// A fused cell-wise pipeline (optionally closed by an aggregate),
+    /// introduced by the fusion pass after dynamic rewrites. Inputs are
+    /// the template's leaves in template order.
+    Fused(Arc<FusedTemplate>),
     /// Right indexing; inputs: `target, row_lo, row_hi, col_lo, col_hi`
     /// (1-based inclusive scalar hops).
     Index,
@@ -60,6 +66,9 @@ impl HopOp {
             HopOp::Tmv => "tmv".to_string(),
             HopOp::Transpose => "r'".to_string(),
             HopOp::Agg(f, d) => format!("ua{f:?}{d:?}").to_lowercase(),
+            // The template signature keys lineage, heavy-hitter stats, and
+            // the estimate-vs-actual audit, e.g. `fused:sum((X-Y)^2)`.
+            HopOp::Fused(t) => format!("fused:{}", t.signature()),
             HopOp::Index => "rightIndex".to_string(),
             HopOp::LeftIndex => "leftIndex".to_string(),
             HopOp::Nary(n) => (*n).to_string(),

@@ -99,6 +99,13 @@ pub fn lower(block: &BasicBlock, env: &SizeEnv, config: &EngineConfig) -> Plan {
         let _span = sysds_obs::Span::enter(sysds_obs::Phase::SizeProp, "propagate");
         propagate(&mut dag, env, config, &roots)
     };
+    // Fuse cell-wise chains once exact sizes are in; interior nodes of a
+    // fused region lose their last consumer and drop out during the
+    // root-reachable flattening below.
+    if config.fusion {
+        let _span = sysds_obs::Span::enter(sysds_obs::Phase::Rewrite, "fusion");
+        super::fusion::fuse(&mut dag, &roots);
+    }
 
     // Topological order from the roots, preserving root order so effects
     // execute in statement order.

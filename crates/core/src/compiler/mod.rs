@@ -14,6 +14,7 @@
 
 pub mod autodiff;
 pub mod explain;
+pub mod fusion;
 pub mod hop;
 pub mod lower;
 pub mod rewrites;

@@ -131,6 +131,36 @@ fn infer(dag: &HopDag, id: HopId, env: &SizeEnv) -> SizeInfo {
                 },
             }
         }
+        HopOp::Fused(t) => {
+            // The cell-wise body has the shape of its (first) matrix leaf;
+            // an aggregate root reshapes exactly like HopOp::Agg.
+            let base = node
+                .inputs
+                .iter()
+                .map(|&i| dag.node(i).size)
+                .find(|s| !s.scalar)
+                .unwrap_or_else(SizeInfo::unknown);
+            match t.agg {
+                None => SizeInfo {
+                    sparsity: None,
+                    scalar: false,
+                    ..base
+                },
+                Some((_, Direction::Full)) => SizeInfo::scalar(),
+                Some((_, Direction::Row)) => SizeInfo {
+                    rows: base.rows,
+                    cols: Dim::Known(1),
+                    sparsity: Some(1.0),
+                    scalar: false,
+                },
+                Some((_, Direction::Col)) => SizeInfo {
+                    rows: Dim::Known(1),
+                    cols: base.cols,
+                    sparsity: Some(1.0),
+                    scalar: false,
+                },
+            }
+        }
         HopOp::Index => {
             // inputs: target, rl, rh, cl, ch (1-based inclusive literals or
             // dynamic scalars).

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use sysds_common::{EngineConfig, Result, ScalarValue, SysDsError};
 use sysds_dist::BlockedMatrix;
+use sysds_tensor::kernels::fused::{FusedInput, FusedOutput, FusedTemplate, TemplateNode};
 use sysds_tensor::kernels::*;
 use sysds_tensor::Matrix;
 
@@ -262,6 +263,7 @@ fn cacheable(op: &HopOp) -> bool {
             | HopOp::Agg(_, _)
             | HopOp::Binary(_)
             | HopOp::Unary(_)
+            | HopOp::Fused(_)
             | HopOp::Nary("solve")
             | HopOp::Nary("inv")
             | HopOp::Nary("cholesky")
@@ -286,7 +288,11 @@ fn dispatch(op: &HopOp, exec: ExecType, inputs: &[&Slot], ctx: &ExecCtx) -> Disp
                     },
                     _ => Data::Scalar(ScalarValue::F64(u.apply(s.as_f64()?))),
                 },
-                d => ctx.wrap_matrix(elementwise::unary(*u, &*d.as_matrix()?))?,
+                d => ctx.wrap_matrix(elementwise::unary_mt(
+                    *u,
+                    &*d.as_matrix()?,
+                    ctx.config.num_threads,
+                ))?,
             };
             Ok((out, None))
         }
@@ -342,14 +348,19 @@ fn dispatch(op: &HopOp, exec: ExecType, inputs: &[&Slot], ctx: &ExecCtx) -> Disp
                 return fed_agg(*f, *d, fed, ctx);
             }
             let x = data(0).as_matrix()?;
+            let threads = ctx.config.num_threads;
             match d {
-                Direction::Full => Ok((Data::from_f64(aggregate::aggregate_full(*f, &x)?), None)),
+                Direction::Full => Ok((
+                    Data::from_f64(aggregate::aggregate_full_mt(*f, &x, threads)?),
+                    None,
+                )),
                 _ => Ok((
-                    ctx.wrap_matrix(aggregate::aggregate_axis(*f, *d, &x)?)?,
+                    ctx.wrap_matrix(aggregate::aggregate_axis_mt(*f, *d, &x, threads)?)?,
                     None,
                 )),
             }
         }
+        HopOp::Fused(t) => fused_dispatch(t, inputs, ctx),
         HopOp::Index => {
             let x = data(0).as_matrix()?;
             let (rl, rh) = (data(1).as_i64()?, data(2).as_i64()?);
@@ -440,11 +451,13 @@ fn binary_dispatch(
             Ok((Data::Federated(Arc::new(out)), None))
         }
         (Data::Scalar(a), m) => {
-            let out = elementwise::binary_sm(b, a.as_f64()?, &*m.as_matrix()?);
+            let out =
+                elementwise::binary_sm_mt(b, a.as_f64()?, &*m.as_matrix()?, ctx.config.num_threads);
             Ok((ctx.wrap_matrix(out)?, None))
         }
         (m, Data::Scalar(c)) => {
-            let out = elementwise::binary_ms(b, &*m.as_matrix()?, c.as_f64()?);
+            let out =
+                elementwise::binary_ms_mt(b, &*m.as_matrix()?, c.as_f64()?, ctx.config.num_threads);
             Ok((ctx.wrap_matrix(out)?, None))
         }
         (Data::Federated(a), Data::Federated(c)) => {
@@ -460,10 +473,97 @@ fn binary_dispatch(
                     BlockedMatrix::from_matrix(&mc, ctx.config.block_size, ctx.config.num_threads)?;
                 da.elementwise(b, &db)?.to_matrix()
             } else {
-                elementwise::binary_mm(b, &ma, &mc)?
+                elementwise::binary_mm_mt(b, &ma, &mc, ctx.config.num_threads)?
             };
             Ok((ctx.wrap_matrix(out)?, None))
         }
+    }
+}
+
+/// Execute a fused template: the one-pass kernel when every operand is a
+/// local matrix (of one common shape) or a numeric scalar; otherwise the
+/// template replays op by op through the regular dispatch (federated or
+/// frame operands, shape drift after a stale plan).
+fn fused_dispatch(t: &FusedTemplate, inputs: &[&Slot], ctx: &ExecCtx) -> DispatchResult {
+    enum Operand {
+        M(Arc<Matrix>),
+        S(f64),
+    }
+    let mut operands: Vec<Operand> = Vec::with_capacity(inputs.len());
+    let mut shape: Option<(usize, usize)> = None;
+    for s in inputs {
+        match &s.data {
+            Data::Matrix(h) => {
+                let m = h.acquire()?;
+                let dims = (m.rows(), m.cols());
+                if *shape.get_or_insert(dims) != dims {
+                    return fused_fallback(t, inputs, ctx);
+                }
+                operands.push(Operand::M(m));
+            }
+            Data::Scalar(v) => match v.as_f64() {
+                Ok(x) => operands.push(Operand::S(x)),
+                Err(_) => return fused_fallback(t, inputs, ctx),
+            },
+            _ => return fused_fallback(t, inputs, ctx),
+        }
+    }
+    let Some((m, n)) = shape else {
+        // All-scalar at runtime (sizes drifted): replay.
+        return fused_fallback(t, inputs, ctx);
+    };
+    let fused_inputs: Vec<FusedInput> = operands
+        .iter()
+        .map(|o| match o {
+            Operand::M(m) => FusedInput::Matrix(m),
+            Operand::S(x) => FusedInput::Scalar(*x),
+        })
+        .collect();
+    let out = fused::eval(t, &fused_inputs, ctx.config.num_threads)?;
+    if sysds_obs::stats_enabled() {
+        let counters = sysds_obs::counters();
+        counters.fusion_hits.fetch_add(1, Ordering::Relaxed);
+        counters.fusion_bytes_saved.fetch_add(
+            (t.saved_intermediates * m * n * std::mem::size_of::<f64>()) as u64,
+            Ordering::Relaxed,
+        );
+    }
+    match out {
+        FusedOutput::Scalar(v) => Ok((Data::from_f64(v), None)),
+        FusedOutput::Matrix(out) => Ok((ctx.wrap_matrix(out)?, None)),
+    }
+}
+
+/// Replay a fused template node by node through the regular operator
+/// dispatch. Semantically identical to the unfused plan (including
+/// broadcasts and federated pushdown); counts no fusion hit.
+fn fused_fallback(t: &FusedTemplate, inputs: &[&Slot], ctx: &ExecCtx) -> DispatchResult {
+    t.validate()?;
+    let mut slots: Vec<Slot> = Vec::with_capacity(t.nodes.len());
+    for node in &t.nodes {
+        let slot = match node {
+            TemplateNode::Input(k) => (*inputs[*k]).clone(),
+            TemplateNode::Const(c) => Slot::new(Data::from_f64(*c), None),
+            TemplateNode::Unary(u, a) => {
+                let (data, _) = dispatch(&HopOp::Unary(*u), ExecType::Cp, &[&slots[*a]], ctx)?;
+                Slot::new(data, None)
+            }
+            TemplateNode::Binary(b, a, c) => {
+                let (data, _) = dispatch(
+                    &HopOp::Binary(*b),
+                    ExecType::Cp,
+                    &[&slots[*a], &slots[*c]],
+                    ctx,
+                )?;
+                Slot::new(data, None)
+            }
+        };
+        slots.push(slot);
+    }
+    let root = &slots[t.root];
+    match t.agg {
+        Some((f, d)) => dispatch(&HopOp::Agg(f, d), ExecType::Cp, &[root], ctx),
+        None => Ok((root.data.clone(), None)),
     }
 }
 

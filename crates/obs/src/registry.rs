@@ -244,6 +244,10 @@ pub struct Counters {
     pub fed_request_nanos: AtomicU64,
     /// Compiler: block plans re-lowered after a size change.
     pub recompiles: AtomicU64,
+    /// Fused operators executed via the one-pass kernel.
+    pub fusion_hits: AtomicU64,
+    /// Bytes of per-operator intermediates fusion avoided materializing.
+    pub fusion_bytes_saved: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -261,6 +265,8 @@ static COUNTERS: Counters = Counters {
     fed_requests: AtomicU64::new(0),
     fed_request_nanos: AtomicU64::new(0),
     recompiles: AtomicU64::new(0),
+    fusion_hits: AtomicU64::new(0),
+    fusion_bytes_saved: AtomicU64::new(0),
 };
 
 /// The global counter set.
@@ -285,6 +291,8 @@ pub struct CounterSnapshot {
     pub fed_requests: u64,
     pub fed_request_nanos: u64,
     pub recompiles: u64,
+    pub fusion_hits: u64,
+    pub fusion_bytes_saved: u64,
 }
 
 impl Counters {
@@ -305,6 +313,8 @@ impl Counters {
             fed_requests: self.fed_requests.load(Ordering::Relaxed),
             fed_request_nanos: self.fed_request_nanos.load(Ordering::Relaxed),
             recompiles: self.recompiles.load(Ordering::Relaxed),
+            fusion_hits: self.fusion_hits.load(Ordering::Relaxed),
+            fusion_bytes_saved: self.fusion_bytes_saved.load(Ordering::Relaxed),
         }
     }
 }
@@ -330,6 +340,8 @@ pub fn reset() {
         &c.fed_requests,
         &c.fed_request_nanos,
         &c.recompiles,
+        &c.fusion_hits,
+        &c.fusion_bytes_saved,
     ] {
         a.store(0, Ordering::Relaxed);
     }

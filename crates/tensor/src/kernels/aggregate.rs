@@ -30,20 +30,28 @@ pub enum Direction {
     Col,
 }
 
-/// Kahan-compensated accumulator.
+/// Kahan-compensated accumulator (shared with the fused kernel).
 #[derive(Debug, Clone, Copy, Default)]
-struct Kahan {
-    sum: f64,
-    corr: f64,
+pub(crate) struct Kahan {
+    pub(crate) sum: f64,
+    pub(crate) corr: f64,
 }
 
 impl Kahan {
     #[inline]
-    fn add(&mut self, v: f64) {
+    pub(crate) fn add(&mut self, v: f64) {
         let y = v - self.corr;
         let t = self.sum + y;
         self.corr = (t - self.sum) - y;
         self.sum = t;
+    }
+
+    /// Fold another partition's partial sum into this accumulator,
+    /// preserving that partition's own compensation term.
+    #[inline]
+    pub(crate) fn merge(&mut self, other: Kahan) {
+        self.add(other.sum);
+        self.add(-other.corr);
     }
 }
 
@@ -64,6 +72,70 @@ pub fn aggregate_full(f: AggFn, m: &Matrix) -> Result<f64> {
         AggFn::Max => fold_all(m, f64::NEG_INFINITY, f64::max),
         AggFn::Var => full_var(m),
         AggFn::Sd => full_var(m).sqrt(),
+    })
+}
+
+/// Full aggregation to a scalar, row-partitioned over `threads` for dense
+/// inputs. Per-partition Kahan compensation is preserved and merged, so the
+/// result stays within a few ulps of the sequential kernel.
+pub fn aggregate_full_mt(f: AggFn, m: &Matrix, threads: usize) -> Result<f64> {
+    let (rows, cols) = m.shape();
+    let d = match m {
+        Matrix::Dense(d) if rows * cols > 0 => d,
+        _ => return aggregate_full(f, m),
+    };
+    let parts = super::par_row_partitions(rows, cols, threads);
+    if parts.len() <= 1 {
+        return aggregate_full(f, m);
+    }
+    let vals = d.values();
+    let part_sum = |lo: usize, hi: usize, map: &(dyn Fn(f64) -> f64 + Sync)| {
+        let mut acc = Kahan::default();
+        for &v in &vals[lo * cols..hi * cols] {
+            acc.add(map(v));
+        }
+        acc
+    };
+    let merged_sum = |map: &(dyn Fn(f64) -> f64 + Sync)| {
+        let partials = super::run_partitions(&parts, |lo, hi| part_sum(lo, hi, map));
+        let mut acc = Kahan::default();
+        for p in partials {
+            acc.merge(p);
+        }
+        acc.sum
+    };
+    let cells = (rows * cols) as f64;
+    Ok(match f {
+        AggFn::Sum => merged_sum(&|v| v),
+        AggFn::SumSq => merged_sum(&|v| v * v),
+        AggFn::Mean => merged_sum(&|v| v) / cells,
+        AggFn::Min | AggFn::Max => {
+            let (init, pick): (f64, fn(f64, f64) -> f64) = if f == AggFn::Min {
+                (f64::INFINITY, f64::min)
+            } else {
+                (f64::NEG_INFINITY, f64::max)
+            };
+            let partials = super::run_partitions(&parts, |lo, hi| {
+                vals[lo * cols..hi * cols]
+                    .iter()
+                    .fold(init, |a, &v| pick(a, v))
+            });
+            partials.into_iter().fold(init, pick)
+        }
+        AggFn::Var | AggFn::Sd => {
+            // Parallel two-pass; unbiased (n-1) like the sequential kernel.
+            let var = if cells < 2.0 {
+                0.0
+            } else {
+                let mean = merged_sum(&|v| v) / cells;
+                merged_sum(&|v| (v - mean) * (v - mean)) / (cells - 1.0)
+            };
+            if f == AggFn::Sd {
+                var.sqrt()
+            } else {
+                var
+            }
+        }
     })
 }
 
@@ -136,6 +208,68 @@ pub fn aggregate_axis(f: AggFn, dir: Direction, m: &Matrix) -> Result<Matrix> {
         }
         Direction::Row => aggregate_rows(f, m),
         Direction::Col => aggregate_cols(f, m),
+    }
+}
+
+/// Row- or column-wise aggregation, row-partitioned over `threads`. Row
+/// results are computed on disjoint row ranges; column results merge
+/// per-partition partial vectors.
+pub fn aggregate_axis_mt(f: AggFn, dir: Direction, m: &Matrix, threads: usize) -> Result<Matrix> {
+    let (rows, cols) = m.shape();
+    match dir {
+        Direction::Full => {
+            let v = aggregate_full_mt(f, m, threads)?;
+            Matrix::from_vec(1, 1, vec![v])
+        }
+        Direction::Row => {
+            if cols == 0 && !matches!(f, AggFn::Sum | AggFn::SumSq) {
+                return Err(SysDsError::runtime("row aggregation over zero columns"));
+            }
+            let parts = super::par_row_partitions(rows, cols, threads);
+            if parts.len() <= 1 {
+                return aggregate_rows(f, m);
+            }
+            let partials = super::run_partitions(&parts, |lo, hi| {
+                (lo..hi)
+                    .map(|i| agg_slice(f, row_values(m, i), cols))
+                    .collect::<Vec<f64>>()
+            });
+            Matrix::from_vec(rows, 1, partials.concat())
+        }
+        Direction::Col => {
+            let d = match m {
+                Matrix::Dense(d) if matches!(f, AggFn::Sum | AggFn::Mean | AggFn::SumSq) => d,
+                _ => return aggregate_cols(f, m),
+            };
+            if rows == 0 {
+                return aggregate_cols(f, m);
+            }
+            let parts = super::par_row_partitions(rows, cols, threads);
+            if parts.len() <= 1 {
+                return aggregate_cols(f, m);
+            }
+            let partials = super::run_partitions(&parts, |lo, hi| {
+                let mut sums = vec![0.0f64; cols];
+                for i in lo..hi {
+                    for (acc, &v) in sums.iter_mut().zip(d.row(i)) {
+                        *acc += if f == AggFn::SumSq { v * v } else { v };
+                    }
+                }
+                sums
+            });
+            let mut sums = vec![0.0f64; cols];
+            for p in partials {
+                for (acc, v) in sums.iter_mut().zip(p) {
+                    *acc += v;
+                }
+            }
+            if f == AggFn::Mean {
+                for v in &mut sums {
+                    *v /= rows as f64;
+                }
+            }
+            Matrix::from_vec(1, cols, sums)
+        }
     }
 }
 
@@ -399,6 +533,43 @@ mod tests {
         let s = aggregate_full(AggFn::Sum, &m).unwrap();
         let expect = 1.0 + (n as f64 - 1.0) * 1e-16;
         assert!((s - expect).abs() < 1e-18, "got {s}, want {expect}");
+    }
+
+    #[test]
+    fn parallel_aggregates_match_sequential() {
+        // Big enough (> PAR_MIN_CELLS) to take the multi-partition path.
+        let m = gen::rand_uniform(400, 100, -3.0, 3.0, 1.0, 40);
+        for f in [
+            AggFn::Sum,
+            AggFn::SumSq,
+            AggFn::Mean,
+            AggFn::Min,
+            AggFn::Max,
+            AggFn::Var,
+            AggFn::Sd,
+        ] {
+            let seq = aggregate_full(f, &m).unwrap();
+            let par = aggregate_full_mt(f, &m, 4).unwrap();
+            assert!((seq - par).abs() < 1e-9, "{f:?}: {seq} vs {par}");
+        }
+        for dir in [Direction::Row, Direction::Col] {
+            for f in [AggFn::Sum, AggFn::Mean, AggFn::SumSq, AggFn::Max] {
+                let seq = aggregate_axis(f, dir, &m).unwrap();
+                let par = aggregate_axis_mt(f, dir, &m, 4).unwrap();
+                assert!(seq.approx_eq(&par, 1e-9), "{f:?} {dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_kahan_merge_stays_accurate() {
+        let n = 70_000; // > PAR_MIN_CELLS, so the partitioned path engages
+        let mut data = vec![1e-16; n];
+        data[0] = 1.0;
+        let m = Matrix::from_vec(n / 2, 2, data).unwrap();
+        let s = aggregate_full_mt(AggFn::Sum, &m, 4).unwrap();
+        let expect = 1.0 + (n as f64 - 1.0) * 1e-16;
+        assert!((s - expect).abs() < 1e-12, "got {s}, want {expect}");
     }
 
     #[test]

@@ -224,8 +224,13 @@ fn broadcast_mode(lhs: (usize, usize), rhs: (usize, usize)) -> Result<Broadcast>
     }
 }
 
-/// Matrix ⊕ matrix with broadcasting of the right operand.
+/// Matrix ⊕ matrix with broadcasting of the right operand (sequential).
 pub fn binary_mm(op: BinaryOp, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    binary_mm_mt(op, a, b, 1)
+}
+
+/// Matrix ⊕ matrix with broadcasting, row-partitioned over `threads`.
+pub fn binary_mm_mt(op: BinaryOp, a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix> {
     let mode = broadcast_mode(a.shape(), b.shape())?;
     // Sparse fast path: zero-preserving ops on a sparse left operand touch
     // only stored entries.
@@ -234,16 +239,33 @@ pub fn binary_mm(op: BinaryOp, a: &Matrix, b: &Matrix) -> Result<Matrix> {
     }
     let (m, n) = a.shape();
     let mut out = DenseMatrix::zeros(m, n);
-    for i in 0..m {
-        let row = out.row_mut(i);
-        for (j, cell) in row.iter_mut().enumerate() {
-            let bv = match mode {
-                Broadcast::None => b.get(i, j),
-                Broadcast::ColVector => b.get(i, 0),
-                Broadcast::RowVector => b.get(0, j),
-            };
-            *cell = op.apply(a.get(i, j), bv);
+    let fill = |lo: usize, hi: usize, chunk: &mut [f64]| {
+        for i in lo..hi {
+            let row = &mut chunk[(i - lo) * n..(i - lo + 1) * n];
+            for (j, cell) in row.iter_mut().enumerate() {
+                let bv = match mode {
+                    Broadcast::None => b.get(i, j),
+                    Broadcast::ColVector => b.get(i, 0),
+                    Broadcast::RowVector => b.get(0, j),
+                };
+                *cell = op.apply(a.get(i, j), bv);
+            }
         }
+    };
+    let parts = super::par_row_partitions(m, n, threads);
+    if parts.len() <= 1 {
+        fill(0, m, out.values_mut());
+    } else {
+        let mut rest = out.values_mut();
+        crossbeam::thread::scope(|s| {
+            for &(lo, hi) in &parts {
+                let (chunk, r2) = rest.split_at_mut((hi - lo) * n);
+                rest = r2;
+                let fill = &fill;
+                s.spawn(move |_| fill(lo, hi, chunk));
+            }
+        })
+        .expect("elementwise worker panicked");
     }
     Ok(Matrix::Dense(out).compact())
 }
@@ -269,8 +291,13 @@ fn sparse_left_zero_preserving(
     Matrix::Sparse(SparseMatrix::from_triples(a.rows(), a.cols(), triples))
 }
 
-/// Matrix ⊕ scalar.
+/// Matrix ⊕ scalar (sequential).
 pub fn binary_ms(op: BinaryOp, a: &Matrix, s: f64) -> Matrix {
+    binary_ms_mt(op, a, s, 1)
+}
+
+/// Matrix ⊕ scalar, row-partitioned over `threads`.
+pub fn binary_ms_mt(op: BinaryOp, a: &Matrix, s: f64, threads: usize) -> Matrix {
     // Keep sparsity when op(0, s) == 0.
     if let Matrix::Sparse(sa) = a {
         if op.apply(0.0, s) == 0.0 {
@@ -282,14 +309,16 @@ pub fn binary_ms(op: BinaryOp, a: &Matrix, s: f64) -> Matrix {
             return Matrix::Sparse(SparseMatrix::from_triples(sa.rows(), sa.cols(), triples));
         }
     }
-    let d = a.to_dense();
-    let (m, n) = (d.rows(), d.cols());
-    let data = d.values().iter().map(|&v| op.apply(v, s)).collect();
-    Matrix::Dense(DenseMatrix::from_vec(m, n, data)).compact()
+    map_dense(a, threads, |v| op.apply(v, s))
 }
 
 /// Scalar ⊕ matrix (non-commutative ops need this separate form).
 pub fn binary_sm(op: BinaryOp, s: f64, a: &Matrix) -> Matrix {
+    binary_sm_mt(op, s, a, 1)
+}
+
+/// Scalar ⊕ matrix, row-partitioned over `threads`.
+pub fn binary_sm_mt(op: BinaryOp, s: f64, a: &Matrix, threads: usize) -> Matrix {
     if let Matrix::Sparse(sa) = a {
         if op.apply(s, 0.0) == 0.0 {
             let triples = sa
@@ -300,14 +329,16 @@ pub fn binary_sm(op: BinaryOp, s: f64, a: &Matrix) -> Matrix {
             return Matrix::Sparse(SparseMatrix::from_triples(sa.rows(), sa.cols(), triples));
         }
     }
-    let d = a.to_dense();
-    let (m, n) = (d.rows(), d.cols());
-    let data = d.values().iter().map(|&v| op.apply(s, v)).collect();
-    Matrix::Dense(DenseMatrix::from_vec(m, n, data)).compact()
+    map_dense(a, threads, |v| op.apply(s, v))
 }
 
-/// Unary element-wise application.
+/// Unary element-wise application (sequential).
 pub fn unary(op: UnaryOp, a: &Matrix) -> Matrix {
+    unary_mt(op, a, 1)
+}
+
+/// Unary element-wise application, row-partitioned over `threads`.
+pub fn unary_mt(op: UnaryOp, a: &Matrix, threads: usize) -> Matrix {
     if let (Matrix::Sparse(sa), true) = (a, op.zero_preserving()) {
         let triples = sa
             .iter_nonzeros()
@@ -316,10 +347,39 @@ pub fn unary(op: UnaryOp, a: &Matrix) -> Matrix {
             .collect();
         return Matrix::Sparse(SparseMatrix::from_triples(sa.rows(), sa.cols(), triples));
     }
+    map_dense(a, threads, |v| op.apply(v))
+}
+
+/// Densify `a` and apply `f` cell-wise, splitting row partitions across
+/// scoped threads when the input is large enough.
+fn map_dense(a: &Matrix, threads: usize, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
     let d = a.to_dense();
     let (m, n) = (d.rows(), d.cols());
-    let data = d.values().iter().map(|&v| op.apply(v)).collect();
-    Matrix::Dense(DenseMatrix::from_vec(m, n, data)).compact()
+    let src = d.values();
+    let mut out = DenseMatrix::zeros(m, n);
+    let parts = super::par_row_partitions(m, n, threads);
+    if parts.len() <= 1 {
+        for (dst, &v) in out.values_mut().iter_mut().zip(src) {
+            *dst = f(v);
+        }
+    } else {
+        let mut rest = out.values_mut();
+        crossbeam::thread::scope(|s| {
+            for &(lo, hi) in &parts {
+                let (chunk, r2) = rest.split_at_mut((hi - lo) * n);
+                rest = r2;
+                let f = &f;
+                let src = &src[lo * n..hi * n];
+                s.spawn(move |_| {
+                    for (dst, &v) in chunk.iter_mut().zip(src) {
+                        *dst = f(v);
+                    }
+                });
+            }
+        })
+        .expect("elementwise worker panicked");
+    }
+    Matrix::Dense(out).compact()
 }
 
 /// `ifelse(cond, yes, no)` with scalar or matrix branches broadcast by cell.
@@ -466,6 +526,22 @@ mod tests {
         assert_eq!(r.get(0, 0), 7.0);
         assert_eq!(r.get(0, 1), -7.0);
         assert!(ifelse(&c, &Matrix::zeros(2, 2), &n).is_err());
+    }
+
+    #[test]
+    fn parallel_variants_match_sequential() {
+        // Big enough (> PAR_MIN_CELLS) to take the multi-partition path.
+        let a = gen::rand_uniform(300, 120, -2.0, 2.0, 1.0, 24);
+        let b = gen::rand_uniform(300, 120, -2.0, 2.0, 1.0, 25);
+        let mm1 = binary_mm(BinaryOp::Mul, &a, &b).unwrap();
+        let mm4 = binary_mm_mt(BinaryOp::Mul, &a, &b, 4).unwrap();
+        assert!(mm1.approx_eq(&mm4, 1e-12));
+        let ms4 = binary_ms_mt(BinaryOp::Add, &a, 1.5, 4);
+        assert!(binary_ms(BinaryOp::Add, &a, 1.5).approx_eq(&ms4, 1e-12));
+        let sm4 = binary_sm_mt(BinaryOp::Div, 2.0, &a, 4);
+        assert!(binary_sm(BinaryOp::Div, 2.0, &a).approx_eq(&sm4, 1e-12));
+        let u4 = unary_mt(UnaryOp::Exp, &a, 4);
+        assert!(unary(UnaryOp::Exp, &a).approx_eq(&u4, 1e-12));
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub fn matmul(a: &Matrix, b: &Matrix, threads: usize, blas: bool) -> Result<Matr
         (Matrix::Dense(da), Matrix::Sparse(sb)) => Matrix::Dense(dense_sparse(da, sb, threads)),
         (Matrix::Sparse(sa), Matrix::Sparse(sb)) => sparse_sparse(sa, sb),
     };
-    Ok(out.compact())
+    // Sampled sparsity probe: dense products are almost always dense, so
+    // skip the full O(mn) non-zero scan unless a sample suggests otherwise.
+    Ok(out.compact_estimated())
 }
 
 /// Dense `A %*% B`.

@@ -9,6 +9,7 @@
 
 pub mod aggregate;
 pub mod elementwise;
+pub mod fused;
 pub mod gen;
 pub mod indexing;
 pub mod matmult;
@@ -18,3 +19,45 @@ pub mod tsmm;
 
 pub use aggregate::{AggFn, Direction};
 pub use elementwise::{BinaryOp, UnaryOp};
+
+use crate::matrix::DenseMatrix;
+
+/// Cell count below which row-partitioned kernels stay sequential; thread
+/// spawns cost more than the work they would split.
+pub(crate) const PAR_MIN_CELLS: usize = 1 << 15;
+
+/// Row partitions for a parallel kernel over an `rows x cols` operand:
+/// collapses to a single partition when the input is too small to amortize
+/// thread spawns.
+pub(crate) fn par_row_partitions(rows: usize, cols: usize, threads: usize) -> Vec<(usize, usize)> {
+    let t = if rows.saturating_mul(cols) < PAR_MIN_CELLS {
+        1
+    } else {
+        threads
+    };
+    DenseMatrix::row_partitions(rows, t)
+}
+
+/// Run `f` once per `(lo, hi)` row partition — on scoped threads when there
+/// is more than one partition — and return the results in partition order.
+pub(crate) fn run_partitions<T, F>(parts: &[(usize, usize)], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    if parts.len() <= 1 {
+        return parts.iter().map(|&(lo, hi)| f(lo, hi)).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(parts.len(), || None);
+    crossbeam::thread::scope(|s| {
+        for (slot, &(lo, hi)) in out.iter_mut().zip(parts) {
+            let f = &f;
+            s.spawn(move |_| *slot = Some(f(lo, hi)));
+        }
+    })
+    .expect("parallel kernel worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("worker fills its slot"))
+        .collect()
+}

@@ -181,6 +181,36 @@ impl Matrix {
         }
     }
 
+    /// Like [`Matrix::compact`], but large dense outputs are sampled first:
+    /// a strided probe of ~1k cells estimates the sparsity, and the exact
+    /// O(mn) non-zero scan only runs when the estimate is near or below
+    /// [`SPARSE_THRESHOLD`]. Hot kernels producing mostly-dense outputs
+    /// (matmul, fused pipelines) skip the full scan entirely.
+    pub fn compact_estimated(self) -> Matrix {
+        const SAMPLE_MIN_CELLS: usize = 1 << 14;
+        const SAMPLE_TARGET: usize = 1024;
+        if let Matrix::Dense(d) = &self {
+            let cells = d.rows() * d.cols();
+            if cells >= SAMPLE_MIN_CELLS {
+                let stride = cells / SAMPLE_TARGET;
+                let mut sampled = 0usize;
+                let mut nonzero = 0usize;
+                for &v in d.values().iter().step_by(stride) {
+                    sampled += 1;
+                    nonzero += usize::from(v != 0.0);
+                }
+                let estimate = nonzero as f64 / sampled as f64;
+                // Margin absorbs sampling error: only clearly-dense outputs
+                // skip the exact scan, so representation flips near the
+                // threshold still go through `compact`.
+                if estimate >= SPARSE_THRESHOLD + 0.1 {
+                    return self;
+                }
+            }
+        }
+        self.compact()
+    }
+
     /// Estimated in-memory size in bytes, used by the compiler's memory
     /// estimates and the buffer pool.
     pub fn in_memory_size(&self) -> usize {
@@ -328,6 +358,23 @@ mod tests {
         let d = Matrix::filled(10, 10, 3.0).to_sparse();
         let back = Matrix::Sparse(d).compact();
         assert!(!back.is_sparse());
+    }
+
+    #[test]
+    fn compact_estimated_matches_compact_decisions() {
+        // Large dense matrix: sampling skips the scan, stays dense.
+        let dense = Matrix::filled(200, 200, 1.0).compact_estimated();
+        assert!(!dense.is_sparse());
+        // Large mostly-zero matrix: converts to sparse like compact().
+        let mut m = Matrix::zeros(200, 200);
+        for k in 0..40 {
+            m.set(k, k, 1.0);
+        }
+        assert!(m.compact_estimated().is_sparse());
+        // Small matrices delegate to the exact path.
+        let mut small = Matrix::zeros(10, 10);
+        small.set(0, 0, 1.0);
+        assert!(small.compact_estimated().is_sparse());
     }
 
     #[test]
