@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use sysds_fed::learn::federated_lm;
-use sysds_fed::{FederatedMatrix, WorkerHandle};
+use sysds_fed::{FederatedMatrix, Transport, WorkerHandle};
 use sysds_tensor::kernels::BinaryOp;
 use sysds_tensor::kernels::{elementwise, gen, solve, tsmm};
 use sysds_tensor::Matrix;
@@ -35,8 +35,8 @@ fn bench(c: &mut Criterion) {
     for sites in [1usize, 2, 4] {
         // Spawn workers once per configuration; the benchmark measures the
         // federated instruction round trips, not thread spawning.
-        let workers: Vec<Arc<WorkerHandle>> = (0..sites)
-            .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)))
+        let workers: Vec<Arc<dyn Transport>> = (0..sites)
+            .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)) as Arc<dyn Transport>)
             .collect();
         let fx = FederatedMatrix::scatter(&x, &workers).unwrap();
         let fy = FederatedMatrix::scatter(&y, &workers).unwrap();

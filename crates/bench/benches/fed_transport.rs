@@ -1,0 +1,59 @@
+//! Transport ablation: the same federated algorithms (tsmm, lm) over the
+//! in-process channel transport vs the localhost-TCP transport — isolating
+//! the cost of framing, sockets, and the robustness layer from the
+//! federated computation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use sysds_common::NetConfig;
+use sysds_fed::learn::federated_lm;
+use sysds_fed::{FederatedMatrix, Transport, WorkerHandle};
+use sysds_net::{TcpTransport, WorkerServer};
+use sysds_tensor::kernels::gen;
+
+const SITES: usize = 2;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fed_transport");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    let (x, y) = gen::synthetic_regression(20_000, 32, 1.0, 0.05, 6401);
+
+    // In-process channel transport.
+    let local: Vec<Arc<dyn Transport>> = (0..SITES)
+        .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)) as Arc<dyn Transport>)
+        .collect();
+    let lfx = FederatedMatrix::scatter(&x, &local).unwrap();
+    let lfy = FederatedMatrix::scatter(&y, &local).unwrap();
+
+    // Localhost TCP transport: daemons stay up for the whole benchmark, so
+    // iterations measure request round trips over warm connections.
+    let servers: Vec<WorkerServer> = (0..SITES)
+        .map(|_| WorkerServer::bind("127.0.0.1:0", vec![], 1).unwrap())
+        .collect();
+    let tcp: Vec<Arc<dyn Transport>> = servers
+        .iter()
+        .map(|s| {
+            Arc::new(
+                TcpTransport::connect(&s.local_addr().to_string(), NetConfig::default()).unwrap(),
+            ) as Arc<dyn Transport>
+        })
+        .collect();
+    let tfx = FederatedMatrix::scatter(&x, &tcp).unwrap();
+    let tfy = FederatedMatrix::scatter(&y, &tcp).unwrap();
+
+    g.bench_function("tsmm_inprocess", |b| b.iter(|| lfx.tsmm().unwrap()));
+    g.bench_function("tsmm_tcp", |b| b.iter(|| tfx.tsmm().unwrap()));
+    g.bench_function("lm_inprocess", |b| {
+        b.iter(|| federated_lm(&lfx, &lfy, 0.001).unwrap())
+    });
+    g.bench_function("lm_tcp", |b| {
+        b.iter(|| federated_lm(&tfx, &tfy, 0.001).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

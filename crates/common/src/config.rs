@@ -18,6 +18,64 @@ pub enum ReusePolicy {
     FullAndPartial,
 }
 
+/// Robustness knobs for networked federation (timeouts, retries, health).
+///
+/// All durations are milliseconds. Retries apply only to requests that are
+/// idempotent or deduplicated site-side by request id; the backoff between
+/// attempt `k` and `k+1` is `backoff_base_ms * 2^k` plus deterministic
+/// jitter, capped at `backoff_max_ms`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// TCP connect timeout per attempt.
+    pub connect_timeout_ms: u64,
+    /// Per-request deadline (send + site execution + receive).
+    pub request_timeout_ms: u64,
+    /// Retries after the first failed attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Base backoff before the first retry.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_max_ms: u64,
+    /// Interval between heartbeat pings from the health checker.
+    pub heartbeat_interval_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            connect_timeout_ms: 2_000,
+            request_timeout_ms: 30_000,
+            max_retries: 3,
+            backoff_base_ms: 20,
+            backoff_max_ms: 2_000,
+            heartbeat_interval_ms: 1_000,
+            jitter_seed: 0x5d5d5,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Builder-style setter for the per-request deadline.
+    pub fn request_timeout_ms(mut self, ms: u64) -> Self {
+        self.request_timeout_ms = ms;
+        self
+    }
+
+    /// Builder-style setter for the retry budget.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Builder-style setter for the base backoff.
+    pub fn backoff_base_ms(mut self, ms: u64) -> Self {
+        self.backoff_base_ms = ms;
+        self
+    }
+}
+
 /// Global engine configuration, threaded through compiler and runtime.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -194,6 +252,17 @@ mod tests {
             c.trace_file.as_deref(),
             Some(std::path::Path::new("/tmp/out.jsonl"))
         );
+    }
+
+    #[test]
+    fn net_config_defaults_and_builders() {
+        let n = NetConfig::default();
+        assert!(n.request_timeout_ms > 0);
+        assert!(n.max_retries >= 1);
+        let n = n.request_timeout_ms(500).max_retries(0).backoff_base_ms(5);
+        assert_eq!(n.request_timeout_ms, 500);
+        assert_eq!(n.max_retries, 0);
+        assert_eq!(n.backoff_base_ms, 5);
     }
 
     #[test]

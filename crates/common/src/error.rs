@@ -46,6 +46,11 @@ pub enum SysDsError {
     Format(String),
     /// Federated-backend failures (worker died, exchange-constraint breach).
     Federated(String),
+    /// A federated site became unreachable: every retry within the deadline
+    /// budget failed, so the federated operation is aborted instead of
+    /// hanging. `endpoint` identifies the site, `detail` the last transport
+    /// error observed.
+    FederatedSiteLost { endpoint: String, detail: String },
     /// User script called `stop("...")`.
     Stop(String),
 }
@@ -70,6 +75,9 @@ impl fmt::Display for SysDsError {
             SysDsError::Io { path, source } => write!(f, "i/o error on '{path}': {source}"),
             SysDsError::Format(msg) => write!(f, "format error: {msg}"),
             SysDsError::Federated(msg) => write!(f, "federated error: {msg}"),
+            SysDsError::FederatedSiteLost { endpoint, detail } => {
+                write!(f, "federated site '{endpoint}' lost: {detail}")
+            }
             SysDsError::Stop(msg) => write!(f, "stop: {msg}"),
         }
     }
@@ -107,6 +115,14 @@ impl SysDsError {
     pub fn validate(msg: impl Into<String>) -> Self {
         SysDsError::Validate(msg.into())
     }
+
+    /// Shorthand constructor for a lost federated site.
+    pub fn site_lost(endpoint: impl Into<String>, detail: impl Into<String>) -> Self {
+        SysDsError::FederatedSiteLost {
+            endpoint: endpoint.into(),
+            detail: detail.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +155,16 @@ mod tests {
         let e = SysDsError::io("/tmp/x.csv", inner);
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("/tmp/x.csv"));
+    }
+
+    #[test]
+    fn display_site_lost() {
+        let e = SysDsError::site_lost("127.0.0.1:7700", "connection refused");
+        assert_eq!(
+            e.to_string(),
+            "federated site '127.0.0.1:7700' lost: connection refused"
+        );
+        assert!(matches!(e, SysDsError::FederatedSiteLost { .. }));
     }
 
     #[test]

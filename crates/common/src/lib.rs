@@ -12,6 +12,6 @@ pub mod hash;
 pub mod rng;
 pub mod value;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, NetConfig};
 pub use error::{Result, SysDsError};
 pub use value::{ScalarValue, ValueType};

@@ -16,9 +16,10 @@ use crate::runtime::instructions::ExecCtx;
 use crate::runtime::value::{Data, SymbolTable};
 use crate::runtime::Interpreter;
 use std::sync::Arc;
-use sysds_common::{EngineConfig, Result, ScalarValue, SysDsError};
-use sysds_fed::{FederatedMatrix, WorkerHandle};
+use sysds_common::{EngineConfig, NetConfig, Result, ScalarValue, SysDsError};
+use sysds_fed::{FederatedMatrix, Transport, WorkerHandle};
 use sysds_frame::Frame;
+use sysds_net::TcpTransport;
 use sysds_tensor::Matrix;
 
 /// Outputs of one script execution.
@@ -142,6 +143,7 @@ impl SystemDS {
             cache: self.ctx.cache.stats(),
             audit: sysds_obs::audit::worst_offenders(10),
             recompile_triggers: sysds_obs::audit::recompile_triggers(),
+            net_sites: sysds_obs::net::site_stats(),
         }
     }
 
@@ -225,8 +227,11 @@ impl SystemDS {
     /// Scatter a matrix across fresh in-process federated workers and wrap
     /// it as a federated input value (paper §3.3).
     pub fn federate(&self, m: &Matrix, num_workers: usize) -> Result<Data> {
-        let workers: Vec<Arc<WorkerHandle>> = (0..num_workers.max(1))
-            .map(|_| Arc::new(WorkerHandle::spawn(vec![], self.ctx.config.num_threads)))
+        let workers: Vec<Arc<dyn Transport>> = (0..num_workers.max(1))
+            .map(|_| {
+                Arc::new(WorkerHandle::spawn(vec![], self.ctx.config.num_threads))
+                    as Arc<dyn Transport>
+            })
             .collect();
         let fed = FederatedMatrix::scatter(m, &workers)?;
         Ok(Data::Federated(Arc::new(fed)))
@@ -236,8 +241,11 @@ impl SystemDS {
     /// across ONE shared set of federated workers, so federated
     /// instructions can combine them site-locally.
     pub fn federate_many(&self, ms: &[&Matrix], num_workers: usize) -> Result<Vec<Data>> {
-        let workers: Vec<Arc<WorkerHandle>> = (0..num_workers.max(1))
-            .map(|_| Arc::new(WorkerHandle::spawn(vec![], self.ctx.config.num_threads)))
+        let workers: Vec<Arc<dyn Transport>> = (0..num_workers.max(1))
+            .map(|_| {
+                Arc::new(WorkerHandle::spawn(vec![], self.ctx.config.num_threads))
+                    as Arc<dyn Transport>
+            })
             .collect();
         ms.iter()
             .map(|m| {
@@ -246,6 +254,33 @@ impl SystemDS {
                 )?)))
             })
             .collect()
+    }
+
+    /// Connect to remote TCP federated sites (one `host:port` per site,
+    /// each running `sysds worker --listen`). The returned transports plug
+    /// into [`SystemDS::federate_with`] so federated instructions and the
+    /// learning algorithms run unchanged over the network.
+    pub fn connect_sites(&self, addrs: &[&str], cfg: NetConfig) -> Result<Vec<Arc<dyn Transport>>> {
+        addrs
+            .iter()
+            .map(|a| Ok(Arc::new(TcpTransport::connect(a, cfg)?) as Arc<dyn Transport>))
+            .collect()
+    }
+
+    /// Scatter a matrix across an explicit set of transports (in-process
+    /// workers, TCP sites, or a mix).
+    pub fn federate_with(&self, m: &Matrix, workers: &[Arc<dyn Transport>]) -> Result<Data> {
+        Ok(Data::Federated(Arc::new(FederatedMatrix::scatter(
+            m, workers,
+        )?)))
+    }
+
+    /// Scatter a matrix across remote TCP federated sites and wrap it as a
+    /// federated input value. Convenience over [`SystemDS::connect_sites`]
+    /// + [`SystemDS::federate_with`].
+    pub fn federate_remote(&self, m: &Matrix, addrs: &[&str], cfg: NetConfig) -> Result<Data> {
+        let sites = self.connect_sites(addrs, cfg)?;
+        self.federate_with(m, &sites)
     }
 
     /// Wrap a matrix as an input value.
@@ -328,6 +363,9 @@ pub struct RunReport {
     pub audit: Vec<sysds_obs::AuditRow>,
     /// Per-trigger attribution of dynamic recompiles.
     pub recompile_triggers: sysds_obs::RecompileTriggers,
+    /// Per-endpoint network statistics for remote federated sites
+    /// (requests, retries, timeouts, bytes, latency), sorted by endpoint.
+    pub net_sites: Vec<sysds_obs::SiteStats>,
 }
 
 impl RunReport {
@@ -374,6 +412,34 @@ impl RunReport {
                 c.fed_requests,
                 c.fed_request_nanos as f64 / 1e9
             );
+        }
+        if c.net_requests > 0 || c.net_failures > 0 {
+            let _ = writeln!(
+                out,
+                "Network: {} requests ({} retries, {} timeouts, {} failed), {} bytes sent, {} bytes received, {:.3}s cumulative round-trip",
+                c.net_requests,
+                c.net_retries,
+                c.net_timeouts,
+                c.net_failures,
+                c.net_bytes_sent,
+                c.net_bytes_recv,
+                c.net_request_nanos as f64 / 1e9
+            );
+            for s in &self.net_sites {
+                let _ = writeln!(
+                    out,
+                    "  {}: {} req, {} retries, {} timeouts, {} failed, {} B out, {} B in, mean {:.3} ms, max {:.3} ms",
+                    s.endpoint,
+                    s.requests,
+                    s.retries,
+                    s.timeouts,
+                    s.failures,
+                    s.bytes_sent,
+                    s.bytes_recv,
+                    s.mean_nanos() as f64 / 1e6,
+                    s.max_nanos as f64 / 1e6
+                );
+            }
         }
         if c.fusion_hits > 0 {
             let _ = writeln!(

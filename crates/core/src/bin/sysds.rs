@@ -8,19 +8,26 @@
 //! sysds run script.dml --arg X=features.csv # $X substitution
 //! sysds run script.dml --explain hops       # HOP DAGs with size estimates
 //! sysds run script.dml --chrome-trace t.json # chrome://tracing timeline
+//! sysds worker --listen 127.0.0.1:7461      # federated site daemon
+//! sysds fedlm --workers 127.0.0.1:7461 --stats # federated lm over TCP
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use sysds::api::SystemDS;
 use sysds::compiler::explain::ExplainLevel;
 use sysds_common::config::ReusePolicy;
-use sysds_common::EngineConfig;
+use sysds_common::{EngineConfig, NetConfig};
+use sysds_fed::{FederatedMatrix, Transport, WorkerHandle};
+use sysds_net::{TcpTransport, WorkerServer};
 
 fn usage() -> ! {
     eprintln!(
         "usage: sysds run <script.dml> [options]\n\
+         \x20      sysds worker --listen ADDR [--threads N]\n\
+         \x20      sysds fedlm [--workers A,B,..] [options]\n\
          \n\
-         options:\n\
+         run options:\n\
            --arg NAME=VALUE   substitute $NAME in the script with VALUE\n\
            --threads N        kernel/parfor parallelism (default: cores)\n\
            --budget-mb N      driver memory budget before ops go distributed\n\
@@ -37,22 +44,49 @@ fn usage() -> ! {
            --explain [LEVEL]  print the compiled plan before executing;\n\
                               LEVEL is 'hops' (default: HOP DAGs with\n\
                               dims/sparsity/memory/exec) or 'runtime'\n\
-                              (lowered instructions)"
+                              (lowered instructions)\n\
+         \n\
+         worker options (federated site daemon, framed wire protocol):\n\
+           --listen ADDR      bind address, e.g. 127.0.0.1:7461 (required;\n\
+                              port 0 picks an ephemeral port)\n\
+           --threads N        kernel parallelism for site-local compute\n\
+         \n\
+         fedlm options (federated linear regression driver):\n\
+           --workers A,B,..   comma-separated site addresses (host:port);\n\
+                              omitted: spawn in-process workers instead\n\
+           --sites N          in-process site count when --workers is\n\
+                              omitted (default 2)\n\
+           --rows N --cols N  synthetic regression data shape (200 x 8)\n\
+           --lambda L         ridge regularization (default 0.001)\n\
+           --seed S           data generator seed (default 42)\n\
+           --stats            print runtime statistics incl. the per-site\n\
+                              network table\n\
+           --shutdown-workers send a graceful Shutdown to each remote site\n\
+                              after the run"
     );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 || args[0] != "run" {
+    match args.first().map(String::as_str) {
+        Some("run") => run_cmd(&args[1..]),
+        Some("worker") => worker_cmd(&args[1..]),
+        Some("fedlm") => fedlm_cmd(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_cmd(args: &[String]) -> ExitCode {
+    if args.is_empty() {
         usage();
     }
-    let script_path = &args[1];
+    let script_path = &args[0];
     let mut config = EngineConfig::default();
     let mut stats = false;
     let mut explain: Option<ExplainLevel> = None;
     let mut substitutions: Vec<(String, String)> = Vec::new();
-    let mut i = 2;
+    let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--arg" => {
@@ -181,4 +215,222 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `sysds worker --listen ADDR`: run one federated site daemon until a
+/// wire `Shutdown` request arrives (or the process is killed).
+fn worker_cmd(args: &[String]) -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut threads = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                i += 1;
+                let Some(addr) = args.get(i) else { usage() };
+                listen = Some(addr.clone());
+            }
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                threads = n;
+            }
+            other => {
+                eprintln!("unknown option '{other}'");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let Some(addr) = listen else { usage() };
+    let server = match WorkerServer::bind(&addr, vec![], threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The endpoint line is the startup handshake scripts wait for (the
+    // bound port matters when --listen used port 0).
+    println!("# sysds worker listening on {}", server.endpoint());
+    while !server.is_stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("# sysds worker shut down");
+    ExitCode::SUCCESS
+}
+
+/// `sysds fedlm`: federated ridge regression driver — the CLI entry point
+/// for exercising the networked federation path end to end. Runs the same
+/// model over the requested transports AND over in-process workers, and
+/// reports whether the results are bitwise identical.
+fn fedlm_cmd(args: &[String]) -> ExitCode {
+    let mut worker_addrs: Vec<String> = Vec::new();
+    let mut sites = 2usize;
+    let mut rows = 200usize;
+    let mut cols = 8usize;
+    let mut lambda = 0.001f64;
+    let mut seed = 42u64;
+    let mut stats = false;
+    let mut shutdown_workers = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                let Some(list) = args.get(i) else { usage() };
+                worker_addrs = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            "--sites" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                sites = n;
+            }
+            "--rows" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                rows = n;
+            }
+            "--cols" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                cols = n;
+            }
+            "--lambda" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                lambda = v;
+            }
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                seed = v;
+            }
+            "--stats" => stats = true,
+            "--shutdown-workers" => shutdown_workers = true,
+            other => {
+                eprintln!("unknown option '{other}'");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if stats {
+        sysds_obs::enable_stats();
+    }
+    let (x, y) = sysds_tensor::kernels::gen::synthetic_regression(rows, cols, 1.0, 0.1, seed);
+
+    // Remote TCP transports (kept concretely typed for shutdown_site).
+    let mut tcp_sites: Vec<Arc<TcpTransport>> = Vec::new();
+    let workers: Vec<Arc<dyn Transport>> = if worker_addrs.is_empty() {
+        (0..sites.max(1))
+            .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)) as Arc<dyn Transport>)
+            .collect()
+    } else {
+        let cfg = NetConfig::default();
+        let mut ws = Vec::new();
+        for addr in &worker_addrs {
+            match TcpTransport::connect(addr, cfg) {
+                Ok(t) => {
+                    let t = Arc::new(t);
+                    tcp_sites.push(Arc::clone(&t));
+                    ws.push(t as Arc<dyn Transport>);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        ws
+    };
+    for site in &workers {
+        println!("# site: {}", site.endpoint());
+    }
+
+    let start = std::time::Instant::now();
+    let fed = (|| {
+        let fx = FederatedMatrix::scatter(&x, &workers)?;
+        let fy = FederatedMatrix::scatter(&y, &workers)?;
+        sysds_fed::learn::federated_lm(&fx, &fy, lambda)
+    })();
+    let fed = match fed {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = start.elapsed();
+
+    // Reference: the identical model over in-process workers with the same
+    // partitioning — must be bitwise identical, transport changes nothing.
+    let reference = (|| {
+        let local: Vec<Arc<dyn Transport>> = (0..workers.len())
+            .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)) as Arc<dyn Transport>)
+            .collect();
+        let fx = FederatedMatrix::scatter(&x, &local)?;
+        let fy = FederatedMatrix::scatter(&y, &local)?;
+        sysds_fed::learn::federated_lm(&fx, &fy, lambda)
+    })();
+    match reference {
+        Ok(r) => {
+            let identical = r.to_vec() == fed.to_vec();
+            println!("# identical to in-process: {identical}");
+            if !identical {
+                eprintln!("error: transport changed the result");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: reference run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let w = fed.to_vec();
+    println!(
+        "# weights[0..{}] = {:?}",
+        w.len().min(4),
+        &w[..w.len().min(4)]
+    );
+
+    if shutdown_workers {
+        for site in &tcp_sites {
+            if let Err(e) = site.shutdown_site() {
+                eprintln!("warning: shutdown of {} failed: {e}", site.endpoint());
+            }
+        }
+    }
+    if stats {
+        eprintln!("# elapsed: {:.3}s", elapsed.as_secs_f64());
+        let sds = match SystemDS::with_config(EngineConfig {
+            stats: true,
+            ..EngineConfig::default()
+        }) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("engine init failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprint!("{}", sds.run_report().render());
+    }
+    ExitCode::SUCCESS
 }

@@ -121,13 +121,14 @@ impl FederatedParamServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Transport;
     use crate::worker::WorkerHandle;
     use std::sync::Arc;
     use sysds_tensor::kernels::{gen, tsmm};
 
-    fn workers(n: usize) -> Vec<Arc<WorkerHandle>> {
+    fn workers(n: usize) -> Vec<Arc<dyn Transport>> {
         (0..n)
-            .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)))
+            .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)) as Arc<dyn Transport>)
             .collect()
     }
 

@@ -13,6 +13,8 @@
 //!
 //! * [`worker`] — the federated site: request/response protocol and the
 //!   worker event loop;
+//! * [`transport`] — the pluggable [`Transport`] trait the master uses to
+//!   reach a site (in-process channels here; TCP in `sysds-net`);
 //! * [`tensor`] — [`FederatedMatrix`]: a metadata object mapping disjoint
 //!   row ranges to workers, with federated instructions (tsmm, `t(X)y`,
 //!   broadcast mat-vec, scalar ops, column aggregates);
@@ -21,7 +23,9 @@
 
 pub mod learn;
 pub mod tensor;
+pub mod transport;
 pub mod worker;
 
 pub use tensor::FederatedMatrix;
+pub use transport::Transport;
 pub use worker::{FedRequest, FedResponse, WorkerHandle};

@@ -5,7 +5,8 @@
 //! cover disjoint index ranges of the tensor" (paper §2.4). We implement
 //! the row-partitioned 2-D case, which is the one federated learning uses.
 
-use crate::worker::{FedRequest, WorkerHandle};
+use crate::transport::Transport;
+use crate::worker::FedRequest;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use sysds_common::{Result, SysDsError};
@@ -23,11 +24,12 @@ fn fresh_var(prefix: &str) -> String {
 }
 
 /// One partition: rows `[row_lo, row_hi)` live at `worker` under `var`.
+/// The worker is any [`Transport`] — an in-process thread or a TCP site.
 #[derive(Debug, Clone)]
 pub struct FedPartition {
     pub row_lo: usize,
     pub row_hi: usize,
-    pub worker: Arc<WorkerHandle>,
+    pub worker: Arc<dyn Transport>,
     pub var: String,
 }
 
@@ -42,7 +44,7 @@ pub struct FederatedMatrix {
 impl FederatedMatrix {
     /// Scatter a local matrix across `workers` in contiguous row ranges
     /// (test/bootstrap path; production data would already live at sites).
-    pub fn scatter(m: &Matrix, workers: &[Arc<WorkerHandle>]) -> Result<FederatedMatrix> {
+    pub fn scatter(m: &Matrix, workers: &[Arc<dyn Transport>]) -> Result<FederatedMatrix> {
         if workers.is_empty() {
             return Err(SysDsError::Federated(
                 "scatter needs at least one worker".into(),
@@ -267,7 +269,9 @@ impl FederatedMatrix {
     fn check_aligned(&self, other: &FederatedMatrix) -> Result<()> {
         if self.partitions.len() != other.partitions.len()
             || self.partitions.iter().zip(&other.partitions).any(|(a, b)| {
-                a.row_lo != b.row_lo || a.row_hi != b.row_hi || !Arc::ptr_eq(&a.worker, &b.worker)
+                a.row_lo != b.row_lo
+                    || a.row_hi != b.row_hi
+                    || a.worker.endpoint() != b.worker.endpoint()
             })
         {
             return Err(SysDsError::Federated(
@@ -285,11 +289,12 @@ fn elementwise_add(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::worker::WorkerHandle;
     use sysds_tensor::kernels::{gen, matmult, reorg, tsmm as local_tsmm};
 
-    fn workers(n: usize) -> Vec<Arc<WorkerHandle>> {
+    fn workers(n: usize) -> Vec<Arc<dyn Transport>> {
         (0..n)
-            .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)))
+            .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)) as Arc<dyn Transport>)
             .collect()
     }
 
@@ -394,7 +399,7 @@ mod tests {
         let m = gen::rand_uniform(10, 2, 0.0, 1.0, 1.0, 150);
         let ws = workers(2);
         let f = FederatedMatrix::scatter(&m, &ws).unwrap();
-        let vars: Vec<(Arc<WorkerHandle>, String)> = f
+        let vars: Vec<(Arc<dyn Transport>, String)> = f
             .partitions()
             .iter()
             .map(|p| (Arc::clone(&p.worker), p.var.clone()))

@@ -16,7 +16,11 @@ use sysds_tensor::kernels::{AggFn, BinaryOp, Direction};
 use sysds_tensor::Matrix;
 
 /// Instructions the master can push to a federated site.
-#[derive(Debug)]
+///
+/// `Clone` because networked transports re-send requests on retry; the
+/// mutating variants stay retry-safe through site-side request-id
+/// deduplication (see `sysds-net`).
+#[derive(Debug, Clone)]
 pub enum FedRequest {
     /// Store a matrix under a variable id (site-side data loading).
     Put { var: String, data: Matrix },
@@ -52,12 +56,15 @@ pub enum FedRequest {
     /// Gradient of squared loss at broadcast weights:
     /// `t(X) %*% (X w - y)` → `cols x 1` aggregate.
     LinRegGradient { x: String, y: String, w: Matrix },
+    /// Liveness probe; answered with [`FedResponse::Ok`] without touching
+    /// any site state (used by heartbeat health checks).
+    Ping,
     /// Stop the worker loop.
     Shutdown,
 }
 
 /// Responses: aggregates only.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum FedResponse {
     Ok,
     Aggregate(Matrix),
@@ -80,8 +87,27 @@ impl FedRequest {
             FedRequest::SumSq { .. } => "fed_sumsq",
             FedRequest::NumRows { .. } => "fed_nrows",
             FedRequest::LinRegGradient { .. } => "fed_linreg_grad",
+            FedRequest::Ping => "fed_ping",
             FedRequest::Shutdown => "fed_shutdown",
         }
+    }
+
+    /// Whether a replay of this request is observably identical to a single
+    /// delivery *without* site-side deduplication. Read-only requests are;
+    /// mutating requests (`Put`, `Remove`, `*Keep`) need the request-id
+    /// dedup cache a networked server keeps.
+    pub fn idempotent(&self) -> bool {
+        matches!(
+            self,
+            FedRequest::Tsmm { .. }
+                | FedRequest::Tmv { .. }
+                | FedRequest::ColSums { .. }
+                | FedRequest::SumSq { .. }
+                | FedRequest::NumRows { .. }
+                | FedRequest::LinRegGradient { .. }
+                | FedRequest::Ping
+                | FedRequest::Shutdown
+        )
     }
 }
 
@@ -90,12 +116,14 @@ type Envelope = (FedRequest, Sender<FedResponse>);
 /// Logical site ids for worker attribution in traces.
 static NEXT_SITE_ID: AtomicU64 = AtomicU64::new(0);
 
-/// The master-side handle to one federated site.
+/// The master-side handle to one federated site running as an in-process
+/// thread (the channel transport).
 #[derive(Debug)]
 pub struct WorkerHandle {
     tx: Sender<Envelope>,
     join: Option<JoinHandle<()>>,
     threads: usize,
+    endpoint: String,
 }
 
 impl WorkerHandle {
@@ -111,13 +139,7 @@ impl WorkerHandle {
                     let _ = reply.send(FedResponse::Ok);
                     break;
                 }
-                let resp = {
-                    let _span = sysds_obs::Span::enter(sysds_obs::Phase::Federated, req.opcode());
-                    match execute(&mut vars, req, threads) {
-                        Ok(r) => r,
-                        Err(e) => FedResponse::Error(e.to_string()),
-                    }
-                };
+                let resp = execute_request(&mut vars, req, threads);
                 let _ = reply.send(resp);
             }
         });
@@ -125,57 +147,27 @@ impl WorkerHandle {
             tx,
             join: Some(join),
             threads,
+            endpoint: format!("inproc://site-{site_id}"),
         }
     }
+}
 
-    /// Degree of parallelism the site uses for its local kernels.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Send one request and wait for the response.
-    pub fn request(&self, req: FedRequest) -> Result<FedResponse> {
-        let opcode = req.opcode();
-        let _span = sysds_obs::Span::enter(sysds_obs::Phase::Federated, opcode);
-        let start = std::time::Instant::now();
+impl crate::transport::Transport for WorkerHandle {
+    fn exchange(&self, req: FedRequest) -> Result<FedResponse> {
         let (rtx, rrx) = bounded(1);
         self.tx
             .send((req, rtx))
             .map_err(|_| SysDsError::Federated("worker channel closed".into()))?;
-        let out = match rrx.recv() {
-            Ok(FedResponse::Error(msg)) => Err(SysDsError::Federated(msg)),
-            Ok(resp) => Ok(resp),
-            Err(_) => Err(SysDsError::Federated(
-                "worker died before responding".into(),
-            )),
-        };
-        if sysds_obs::stats_enabled() {
-            let c = sysds_obs::counters();
-            c.fed_requests.fetch_add(1, Ordering::Relaxed);
-            c.fed_request_nanos
-                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        }
-        out
+        rrx.recv()
+            .map_err(|_| SysDsError::Federated("worker died before responding".into()))
     }
 
-    /// Request an aggregate-matrix response.
-    pub fn request_aggregate(&self, req: FedRequest) -> Result<Matrix> {
-        match self.request(req)? {
-            FedResponse::Aggregate(m) => Ok(m),
-            other => Err(SysDsError::Federated(format!(
-                "expected aggregate, got {other:?}"
-            ))),
-        }
+    fn endpoint(&self) -> &str {
+        &self.endpoint
     }
 
-    /// Request a scalar response.
-    pub fn request_scalar(&self, req: FedRequest) -> Result<f64> {
-        match self.request(req)? {
-            FedResponse::Scalar(v) => Ok(v),
-            other => Err(SysDsError::Federated(format!(
-                "expected scalar, got {other:?}"
-            ))),
-        }
+    fn threads(&self) -> usize {
+        self.threads
     }
 }
 
@@ -192,6 +184,30 @@ impl Drop for WorkerHandle {
 fn get<'a>(vars: &'a HashMap<String, Matrix>, var: &str) -> Result<&'a Matrix> {
     vars.get(var)
         .ok_or_else(|| SysDsError::Federated(format!("unknown federated variable '{var}'")))
+}
+
+/// Execute one request against a site's variable map, never panicking:
+/// kernel errors *and* kernel panics both become [`FedResponse::Error`]
+/// replies so a malformed request cannot kill the site. Shared by the
+/// in-process worker loop and the TCP daemon in `sysds-net`.
+pub fn execute_request(
+    vars: &mut HashMap<String, Matrix>,
+    req: FedRequest,
+    threads: usize,
+) -> FedResponse {
+    let _span = sysds_obs::Span::enter(sysds_obs::Phase::Federated, req.opcode());
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(vars, req, threads))) {
+        Ok(Ok(resp)) => resp,
+        Ok(Err(e)) => FedResponse::Error(e.to_string()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("site kernel panicked");
+            FedResponse::Error(format!("site panic: {msg}"))
+        }
+    }
 }
 
 fn execute(
@@ -257,13 +273,14 @@ fn execute(
             let resid = elementwise::binary_mm(BinaryOp::Sub, &pred, yv)?;
             FedResponse::Aggregate(tsmm::tmv(xv, &resid, threads)?)
         }
-        FedRequest::Shutdown => FedResponse::Ok,
+        FedRequest::Ping | FedRequest::Shutdown => FedResponse::Ok,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Transport;
     use sysds_tensor::kernels::{gen, reorg};
 
     #[test]
@@ -358,5 +375,43 @@ mod tests {
         assert!(w.request(FedRequest::Tsmm { var: "nope".into() }).is_err());
         // still serving afterwards
         assert!(w.request(FedRequest::Tsmm { var: "X".into() }).is_ok());
+    }
+
+    #[test]
+    fn ping_answers_ok() {
+        let w = WorkerHandle::spawn(vec![], 1);
+        w.ping().unwrap();
+        assert!(w.endpoint().starts_with("inproc://site-"));
+    }
+
+    #[test]
+    fn endpoints_are_distinct_per_site() {
+        let a = WorkerHandle::spawn(vec![], 1);
+        let b = WorkerHandle::spawn(vec![], 1);
+        assert_ne!(a.endpoint(), b.endpoint());
+    }
+
+    #[test]
+    fn idempotence_classification() {
+        assert!(FedRequest::Tsmm { var: "x".into() }.idempotent());
+        assert!(FedRequest::Ping.idempotent());
+        assert!(!FedRequest::Put {
+            var: "x".into(),
+            data: Matrix::zeros(1, 1)
+        }
+        .idempotent());
+        assert!(!FedRequest::Remove { var: "x".into() }.idempotent());
+    }
+
+    #[test]
+    fn execute_request_catches_panics() {
+        let mut vars: HashMap<String, Matrix> = HashMap::new();
+        let resp = execute_request(&mut vars, FedRequest::Tsmm { var: "gone".into() }, 1);
+        assert!(matches!(resp, FedResponse::Error(_)));
+        let panics = std::panic::catch_unwind(|| {
+            let mut vars: HashMap<String, Matrix> = HashMap::new();
+            execute_request(&mut vars, FedRequest::Ping, 1)
+        });
+        assert!(panics.is_ok());
     }
 }

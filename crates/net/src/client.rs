@@ -1,0 +1,291 @@
+//! The master-side TCP transport: a [`sysds_fed::Transport`] over sockets.
+//!
+//! Each [`TcpTransport`] owns a small connection pool to one site and runs
+//! every request through the robustness layer:
+//!
+//! * **deadlines** — read/write socket timeouts bound each attempt by
+//!   [`NetConfig::request_timeout_ms`];
+//! * **bounded retries** — up to [`NetConfig::max_retries`] re-sends with
+//!   exponential backoff plus deterministic jitter. Re-sending is safe for
+//!   every request kind: read-only requests are idempotent and mutating
+//!   requests are deduplicated site-side by request id;
+//! * **graceful degradation** — when the budget is exhausted the request
+//!   fails with [`SysDsError::FederatedSiteLost`] instead of hanging;
+//! * **heartbeats** — an optional background pinger tracks site health.
+//!
+//! Every round trip is recorded into `sysds_obs::net` (per-endpoint bytes,
+//! latency, retries, timeouts) in addition to the federated counters the
+//! [`Transport::request`] wrapper keeps.
+
+use crate::wire;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use sysds_common::rng::XorShift64;
+use sysds_common::{NetConfig, Result, SysDsError};
+use sysds_fed::{FedRequest, FedResponse, Transport};
+
+/// Process-wide request-id source; ids must be unique per site because the
+/// server deduplicates replays by id.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Most idle connections kept per site.
+const POOL_LIMIT: usize = 4;
+
+/// TCP transport to one federated site.
+#[derive(Debug)]
+pub struct TcpTransport {
+    addr: SocketAddr,
+    endpoint: String,
+    cfg: NetConfig,
+    threads: usize,
+    pool: Mutex<Vec<TcpStream>>,
+    healthy: AtomicBool,
+    heartbeat_stop: Arc<AtomicBool>,
+    heartbeat: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// Resolve `addr` (`host:port`) and verify the site with one ping.
+    pub fn connect(addr: &str, cfg: NetConfig) -> Result<TcpTransport> {
+        let sock_addr = addr
+            .to_socket_addrs()
+            .map_err(|e| SysDsError::site_lost(addr, format!("resolve: {e}")))?
+            .next()
+            .ok_or_else(|| SysDsError::site_lost(addr, "no address resolved"))?;
+        let transport = TcpTransport {
+            addr: sock_addr,
+            endpoint: format!("tcp://{sock_addr}"),
+            cfg,
+            threads: 1,
+            pool: Mutex::new(Vec::new()),
+            healthy: AtomicBool::new(false),
+            heartbeat_stop: Arc::new(AtomicBool::new(false)),
+            heartbeat: Mutex::new(None),
+        };
+        transport.ping()?;
+        transport.healthy.store(true, Ordering::Relaxed);
+        Ok(transport)
+    }
+
+    /// Last known health of the site (updated by requests and heartbeats).
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Start a background heartbeat: pings every
+    /// [`NetConfig::heartbeat_interval_ms`] and updates [`Self::is_healthy`].
+    /// Requires the transport behind an `Arc` so the pinger can outlive the
+    /// calling scope; stops automatically when the transport is dropped.
+    pub fn start_heartbeat(self: &Arc<Self>) {
+        let mut slot = self.heartbeat.lock().expect("heartbeat poisoned");
+        if slot.is_some() {
+            return;
+        }
+        let me = Arc::clone(self);
+        let stop = Arc::clone(&self.heartbeat_stop);
+        let interval = Duration::from_millis(self.cfg.heartbeat_interval_ms.max(10));
+        *slot = Some(std::thread::spawn(move || {
+            let slice = Duration::from_millis(25);
+            loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                let ok = me.single_attempt(&wire::request_frame(
+                    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed),
+                    &FedRequest::Ping,
+                ));
+                me.healthy.store(ok.is_ok(), Ordering::Relaxed);
+            }
+        }));
+    }
+
+    /// Ask the site daemon to shut down gracefully.
+    pub fn shutdown_site(&self) -> Result<()> {
+        match self.request(FedRequest::Shutdown)? {
+            FedResponse::Ok => Ok(()),
+            other => Err(SysDsError::Federated(format!(
+                "unexpected shutdown response: {other:?}"
+            ))),
+        }
+    }
+
+    fn checkout(&self) -> std::io::Result<TcpStream> {
+        if let Some(conn) = self.pool.lock().expect("pool poisoned").pop() {
+            return Ok(conn);
+        }
+        let conn = TcpStream::connect_timeout(
+            &self.addr,
+            Duration::from_millis(self.cfg.connect_timeout_ms.max(1)),
+        )?;
+        conn.set_nodelay(true)?;
+        Ok(conn)
+    }
+
+    fn checkin(&self, conn: TcpStream) {
+        let mut pool = self.pool.lock().expect("pool poisoned");
+        if pool.len() < POOL_LIMIT {
+            pool.push(conn);
+        }
+    }
+
+    /// One attempt: send the frame, read the matching response. Any error
+    /// drops the connection (a stale or half-written socket must never go
+    /// back into the pool). Returns the response plus bytes received.
+    fn single_attempt(&self, frame: &[u8]) -> std::io::Result<(FedResponse, u64)> {
+        let timeout = Duration::from_millis(self.cfg.request_timeout_ms.max(1));
+        let mut conn = self.checkout()?;
+        conn.set_write_timeout(Some(timeout))?;
+        conn.set_read_timeout(Some(timeout))?;
+        let sent = wire::write_frame(&mut conn, frame);
+        if let Err(e) = sent {
+            return Err(e);
+        }
+        let (header, payload) = match wire::read_frame(&mut conn)? {
+            Ok(ok) => ok,
+            Err(proto) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    proto.to_string(),
+                ))
+            }
+        };
+        let expected_id = u64::from_le_bytes(frame[8..16].try_into().expect("frame id"));
+        if header.request_id != expected_id {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "response id {} does not match request id {expected_id}",
+                    header.request_id
+                ),
+            ));
+        }
+        let bytes_recv = (wire::HEADER_LEN + payload.len()) as u64;
+        let resp = wire::decode_response(&header, payload)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        self.checkin(conn);
+        Ok((resp, bytes_recv))
+    }
+
+    fn backoff(&self, attempt: u32, rng: &mut XorShift64) -> Duration {
+        let base = self.cfg.backoff_base_ms.max(1);
+        let exp = base.saturating_mul(1u64 << attempt.min(16));
+        let capped = exp.min(self.cfg.backoff_max_ms.max(base));
+        // Deterministic jitter in [0, capped): spreads synchronized
+        // retries without introducing nondeterminism into tests.
+        let jitter = rng.next_below(capped.max(1) as usize) as u64 / 2;
+        Duration::from_millis(capped + jitter)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn exchange(&self, req: FedRequest) -> Result<FedResponse> {
+        let request_id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        let frame = wire::request_frame(request_id, &req);
+        let mut rng = XorShift64::new(self.cfg.jitter_seed ^ request_id);
+        let attempts = self.cfg.max_retries as u64 + 1;
+        let start = Instant::now();
+        let mut bytes_sent = 0u64;
+        let mut retries = 0u64;
+        let mut timeouts = 0u64;
+        let mut last_err = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                retries += 1;
+                std::thread::sleep(self.backoff(attempt as u32 - 1, &mut rng));
+            }
+            bytes_sent += frame.len() as u64;
+            match self.single_attempt(&frame) {
+                Ok((resp, bytes_recv)) => {
+                    self.healthy.store(true, Ordering::Relaxed);
+                    sysds_obs::net::record_request(
+                        &self.endpoint,
+                        bytes_sent,
+                        bytes_recv,
+                        start.elapsed().as_nanos() as u64,
+                        retries,
+                        timeouts,
+                    );
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) {
+                        timeouts += 1;
+                    }
+                    last_err = e.to_string();
+                }
+            }
+        }
+        self.healthy.store(false, Ordering::Relaxed);
+        sysds_obs::net::record_failure(&self.endpoint, retries, timeouts);
+        Err(SysDsError::site_lost(
+            &self.endpoint,
+            format!("{attempts} attempts failed; last error: {last_err}"),
+        ))
+    }
+
+    fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.heartbeat_stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.heartbeat.lock().expect("heartbeat poisoned").take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_to_dead_address_is_site_lost() {
+        // Port 1 on localhost is essentially never listening.
+        let err = TcpTransport::connect(
+            "127.0.0.1:1",
+            NetConfig::default()
+                .max_retries(0)
+                .request_timeout_ms(200)
+                .backoff_base_ms(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SysDsError::FederatedSiteLost { .. }), "{err}");
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_cap() {
+        let t = TcpTransport {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            endpoint: "tcp://test".into(),
+            cfg: NetConfig::default().backoff_base_ms(10),
+            threads: 1,
+            pool: Mutex::new(Vec::new()),
+            healthy: AtomicBool::new(false),
+            heartbeat_stop: Arc::new(AtomicBool::new(false)),
+            heartbeat: Mutex::new(None),
+        };
+        let mut rng = XorShift64::new(1);
+        let b0 = t.backoff(0, &mut rng);
+        let b4 = t.backoff(4, &mut rng);
+        assert!(b0 >= Duration::from_millis(10));
+        assert!(b4 >= b0);
+        let cap_ms = t.cfg.backoff_max_ms;
+        assert!(t.backoff(30, &mut rng) <= Duration::from_millis(cap_ms + cap_ms / 2 + 1));
+    }
+}

@@ -1,0 +1,91 @@
+//! Deterministic server-side fault injection.
+//!
+//! A [`FaultPlan`] maps *request sequence numbers* (the order requests are
+//! accepted by one server, starting at 0) to actions. Because the plan
+//! triggers on exact sequence positions, retry and timeout paths are
+//! CI-testable without flaky sleeps or random drops: "drop the first
+//! response" always drops exactly the first response.
+
+/// What to do to the response of one matched request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Execute the request but never send the response; the connection is
+    /// closed instead, forcing the client onto its retry path.
+    DropResponse,
+    /// Delay the response by this many milliseconds (exercises client
+    /// deadlines when larger than the request timeout).
+    DelayMillis(u64),
+    /// Send only the first N bytes of the response frame, then close the
+    /// connection (exercises truncated-frame handling).
+    CloseAfterBytes(usize),
+}
+
+/// One rule: apply `action` to the request with sequence number `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    pub seq: u64,
+    pub action: FaultAction,
+}
+
+/// A deterministic set of fault rules for one server.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add a rule (builder style).
+    pub fn with(mut self, seq: u64, action: FaultAction) -> FaultPlan {
+        self.rules.push(FaultRule { seq, action });
+        self
+    }
+
+    /// Drop the response of request `seq`.
+    pub fn drop_response(self, seq: u64) -> FaultPlan {
+        self.with(seq, FaultAction::DropResponse)
+    }
+
+    /// Delay the response of request `seq` by `ms` milliseconds.
+    pub fn delay_response(self, seq: u64, ms: u64) -> FaultPlan {
+        self.with(seq, FaultAction::DelayMillis(ms))
+    }
+
+    /// Truncate the response frame of request `seq` after `bytes` bytes.
+    pub fn truncate_response(self, seq: u64, bytes: usize) -> FaultPlan {
+        self.with(seq, FaultAction::CloseAfterBytes(bytes))
+    }
+
+    /// The action for request number `seq`, if any rule matches.
+    pub fn action_for(&self, seq: u64) -> Option<FaultAction> {
+        self.rules.iter().find(|r| r.seq == seq).map(|r| r.action)
+    }
+
+    /// Whether the plan has any rules at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_match_exact_sequence_numbers() {
+        let plan = FaultPlan::none()
+            .drop_response(0)
+            .delay_response(2, 50)
+            .truncate_response(5, 10);
+        assert_eq!(plan.action_for(0), Some(FaultAction::DropResponse));
+        assert_eq!(plan.action_for(1), None);
+        assert_eq!(plan.action_for(2), Some(FaultAction::DelayMillis(50)));
+        assert_eq!(plan.action_for(5), Some(FaultAction::CloseAfterBytes(10)));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! The TCP site daemon: serves the framed wire protocol over a socket.
+//!
+//! One accept thread plus one thread per connection. All connections share
+//! the site's variable map, the request sequence counter the
+//! [`FaultPlan`] triggers on, and a bounded request-id deduplication cache
+//! that makes retried mutating requests (`Put`, `Remove`, `*Keep`) exactly-
+//! once: a replayed request id is answered from the cache without
+//! re-executing.
+//!
+//! Shutdown is graceful: a wire `Shutdown` request (or
+//! [`WorkerServer::shutdown`]) stops the accept loop, lets in-flight
+//! requests finish and their responses flush, then joins every thread.
+
+use crate::fault::{FaultAction, FaultPlan};
+use crate::wire;
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use sysds_common::{Result, SysDsError};
+use sysds_fed::worker::execute_request;
+use sysds_fed::{FedRequest, FedResponse};
+use sysds_tensor::Matrix;
+
+/// Maximum request ids remembered for replay deduplication.
+const DEDUP_CAPACITY: usize = 1024;
+/// Poll granularity of idle connections and the accept loop.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Read deadline for the body of a frame whose first byte has arrived.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Offset for TCP site ids in trace worker attribution, keeping them
+/// visually distinct from in-process site ids.
+static NEXT_TCP_SITE: AtomicU64 = AtomicU64::new(10_000);
+
+/// Bounded request-id → response cache (FIFO eviction).
+struct DedupCache {
+    map: HashMap<u64, FedResponse>,
+    order: VecDeque<u64>,
+}
+
+impl DedupCache {
+    fn new() -> DedupCache {
+        DedupCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<FedResponse> {
+        self.map.get(&id).cloned()
+    }
+
+    fn insert(&mut self, id: u64, resp: FedResponse) {
+        if self.map.insert(id, resp).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > DEDUP_CAPACITY {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+struct SiteState {
+    vars: Mutex<HashMap<String, Matrix>>,
+    dedup: Mutex<DedupCache>,
+    faults: FaultPlan,
+    /// Server-wide request sequence; the fault plan matches against it.
+    seq: AtomicU64,
+    threads: usize,
+    shutdown: AtomicBool,
+    site_id: u64,
+}
+
+/// A running TCP federated site.
+#[derive(Debug)]
+pub struct WorkerServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_join: Option<JoinHandle<()>>,
+}
+
+impl WorkerServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving with the given initial variables.
+    pub fn bind(
+        addr: &str,
+        initial: Vec<(String, Matrix)>,
+        threads: usize,
+    ) -> Result<WorkerServer> {
+        WorkerServer::bind_with_faults(addr, initial, threads, FaultPlan::none())
+    }
+
+    /// [`WorkerServer::bind`] plus a deterministic fault-injection plan.
+    pub fn bind_with_faults(
+        addr: &str,
+        initial: Vec<(String, Matrix)>,
+        threads: usize,
+        faults: FaultPlan,
+    ) -> Result<WorkerServer> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| SysDsError::Federated(format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| SysDsError::Federated(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| SysDsError::Federated(format!("set_nonblocking: {e}")))?;
+        let state = Arc::new(SiteState {
+            vars: Mutex::new(initial.into_iter().collect()),
+            dedup: Mutex::new(DedupCache::new()),
+            faults,
+            seq: AtomicU64::new(0),
+            threads: threads.max(1),
+            shutdown: AtomicBool::new(false),
+            site_id: NEXT_TCP_SITE.fetch_add(1, Ordering::Relaxed),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_join = std::thread::spawn(move || {
+            accept_loop(listener, state, accept_shutdown);
+        });
+        Ok(WorkerServer {
+            addr: local,
+            shutdown,
+            accept_join: Some(accept_join),
+        })
+    }
+
+    /// The bound socket address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The endpoint string clients connect to.
+    pub fn endpoint(&self) -> String {
+        format!("tcp://{}", self.addr)
+    }
+
+    /// Stop accepting, drain in-flight requests, and join all threads.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// Whether the server has fully stopped (after a wire `Shutdown`
+    /// request or [`WorkerServer::shutdown`]).
+    pub fn is_stopped(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+            && self.accept_join.as_ref().map_or(true, |j| j.is_finished())
+    }
+}
+
+impl Drop for WorkerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<SiteState>, external_stop: Arc<AtomicBool>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if external_stop.load(Ordering::Relaxed) || state.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(&state);
+                handlers.push(std::thread::spawn(move || {
+                    let _worker = sysds_obs::set_worker(state.site_id);
+                    serve_connection(stream, &state);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    // Propagate the stop to connection handlers and drain them: each one
+    // finishes (and flushes) its in-flight request before exiting.
+    state.shutdown.store(true, Ordering::Relaxed);
+    external_stop.store(true, Ordering::Relaxed);
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, state: &SiteState) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        // Idle-wait for the next frame with a short poll so shutdown is
+        // honored quickly, without consuming bytes (peek).
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if state.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // A frame is arriving: read it whole under the long deadline.
+        let _ = stream.set_read_timeout(Some(FRAME_READ_TIMEOUT));
+        let (header, payload) = match wire::read_frame(&mut stream) {
+            Ok(Ok(frame)) => frame,
+            // Protocol violation: this peer is corrupt; drop the link.
+            Ok(Err(_)) | Err(_) => return,
+        };
+        let request_id = header.request_id;
+        let req = match wire::decode_request(&header, payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // Malformed payload: answer with an error, keep serving.
+                let frame = wire::response_frame(request_id, &FedResponse::Error(e.to_string()));
+                if wire::write_frame(&mut stream, &frame).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let seq = state.seq.fetch_add(1, Ordering::Relaxed);
+        let fault = state.faults.action_for(seq);
+        let is_shutdown = matches!(req, FedRequest::Shutdown);
+        let resp = respond(state, request_id, req);
+        let frame = wire::response_frame(request_id, &resp);
+        match fault {
+            Some(FaultAction::DropResponse) => return,
+            Some(FaultAction::DelayMillis(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                let _ = wire::write_frame(&mut stream, &frame);
+            }
+            Some(FaultAction::CloseAfterBytes(n)) => {
+                let cut = n.min(frame.len());
+                let _ = stream.write_all(&frame[..cut]);
+                let _ = stream.flush();
+                return;
+            }
+            None => {
+                if wire::write_frame(&mut stream, &frame).is_err() {
+                    return;
+                }
+            }
+        }
+        if is_shutdown {
+            state.shutdown.store(true, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+fn respond(state: &SiteState, request_id: u64, req: FedRequest) -> FedResponse {
+    if matches!(req, FedRequest::Shutdown) {
+        return FedResponse::Ok;
+    }
+    let dedup_needed = !req.idempotent();
+    if dedup_needed {
+        if let Some(cached) = state.dedup.lock().expect("dedup poisoned").get(request_id) {
+            return cached;
+        }
+    }
+    let resp = {
+        let mut vars = state.vars.lock().expect("site vars poisoned");
+        execute_request(&mut vars, req, state.threads)
+    };
+    if dedup_needed {
+        state
+            .dedup
+            .lock()
+            .expect("dedup poisoned")
+            .insert(request_id, resp.clone());
+    }
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_cache_replays_and_evicts() {
+        let mut cache = DedupCache::new();
+        cache.insert(1, FedResponse::Scalar(1.0));
+        cache.insert(1, FedResponse::Scalar(1.0)); // re-insert is a no-op
+        assert!(matches!(cache.get(1), Some(FedResponse::Scalar(v)) if v == 1.0));
+        assert!(cache.get(2).is_none());
+        for id in 2..(DEDUP_CAPACITY as u64 + 2) {
+            cache.insert(id, FedResponse::Ok);
+        }
+        assert!(cache.get(1).is_none(), "oldest entry evicted");
+        assert!(cache.get(DEDUP_CAPACITY as u64 + 1).is_some());
+    }
+
+    #[test]
+    fn bind_reports_endpoint_and_stops() {
+        let mut server = WorkerServer::bind("127.0.0.1:0", vec![], 1).unwrap();
+        assert!(server.endpoint().starts_with("tcp://127.0.0.1:"));
+        assert!(!server.is_stopped());
+        server.shutdown();
+        assert!(server.is_stopped());
+    }
+}

@@ -1,0 +1,550 @@
+//! The framed binary wire protocol for federated requests.
+//!
+//! Every message is one frame: a fixed 24-byte little-endian header followed
+//! by an opcode-specific payload. Matrix payloads reuse the workspace binary
+//! block format (`sysds_io::binary`), so a site stores exactly the bytes the
+//! master would spill to disk.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "SNET"
+//! 4       2     version (currently 1)
+//! 6       1     kind    (0 = request, 1 = response)
+//! 7       1     opcode  (see `FedRequest::wire_opcode` / response codes)
+//! 8       8     request id (echoed verbatim in the response)
+//! 16      8     payload length in bytes
+//! 24      ...   payload
+//! ```
+//!
+//! Decoding is strict: wrong magic, unknown version/kind/opcode, truncated
+//! payloads, and trailing garbage are all rejected with
+//! [`SysDsError::Format`] rather than silently tolerated — a corrupt frame
+//! must never be half-applied at a site.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use sysds_common::{Result, SysDsError};
+use sysds_fed::{FedRequest, FedResponse};
+use sysds_io::binary::{decode_block, encode_block};
+use sysds_tensor::kernels::BinaryOp;
+
+/// Frame magic: the first four bytes of every message.
+pub const MAGIC: [u8; 4] = *b"SNET";
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 24;
+/// Upper bound on a payload, guarding length-prefix corruption: a frame
+/// claiming more than this is rejected before any allocation.
+pub const MAX_PAYLOAD: u64 = 1 << 34;
+
+/// Frame kind: request (master → site) or response (site → master).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    Request,
+    Response,
+}
+
+/// Parsed fixed-size frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub kind: FrameKind,
+    pub opcode: u8,
+    pub request_id: u64,
+    pub payload_len: u64,
+}
+
+const REQ_PUT: u8 = 0;
+const REQ_REMOVE: u8 = 1;
+const REQ_TSMM: u8 = 2;
+const REQ_TMV: u8 = 3;
+const REQ_MATVEC_KEEP: u8 = 4;
+const REQ_SCALAR_OP_KEEP: u8 = 5;
+const REQ_BINARY_OP_KEEP: u8 = 6;
+const REQ_COLSUMS: u8 = 7;
+const REQ_SUMSQ: u8 = 8;
+const REQ_NROWS: u8 = 9;
+const REQ_LINREG_GRAD: u8 = 10;
+const REQ_PING: u8 = 11;
+const REQ_SHUTDOWN: u8 = 12;
+
+const RESP_OK: u8 = 0;
+const RESP_AGGREGATE: u8 = 1;
+const RESP_SCALAR: u8 = 2;
+const RESP_ERROR: u8 = 3;
+
+fn op_to_u8(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Add => 0,
+        BinaryOp::Sub => 1,
+        BinaryOp::Mul => 2,
+        BinaryOp::Div => 3,
+        BinaryOp::Pow => 4,
+        BinaryOp::Mod => 5,
+        BinaryOp::IntDiv => 6,
+        BinaryOp::Min => 7,
+        BinaryOp::Max => 8,
+        BinaryOp::Eq => 9,
+        BinaryOp::Neq => 10,
+        BinaryOp::Lt => 11,
+        BinaryOp::Le => 12,
+        BinaryOp::Gt => 13,
+        BinaryOp::Ge => 14,
+        BinaryOp::And => 15,
+        BinaryOp::Or => 16,
+    }
+}
+
+fn u8_to_op(code: u8) -> Result<BinaryOp> {
+    Ok(match code {
+        0 => BinaryOp::Add,
+        1 => BinaryOp::Sub,
+        2 => BinaryOp::Mul,
+        3 => BinaryOp::Div,
+        4 => BinaryOp::Pow,
+        5 => BinaryOp::Mod,
+        6 => BinaryOp::IntDiv,
+        7 => BinaryOp::Min,
+        8 => BinaryOp::Max,
+        9 => BinaryOp::Eq,
+        10 => BinaryOp::Neq,
+        11 => BinaryOp::Lt,
+        12 => BinaryOp::Le,
+        13 => BinaryOp::Gt,
+        14 => BinaryOp::Ge,
+        15 => BinaryOp::And,
+        16 => BinaryOp::Or,
+        _ => return Err(SysDsError::Format(format!("unknown binary op code {code}"))),
+    })
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(SysDsError::Format("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(SysDsError::Format("truncated string payload".into()));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.as_ref().to_vec())
+        .map_err(|_| SysDsError::Format("non-utf8 string in frame".into()))
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(SysDsError::Format("truncated f64".into()));
+    }
+    Ok(buf.get_f64_le())
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(SysDsError::Format("truncated u8".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+/// Wire opcode of a request (stable protocol contract, distinct from the
+/// human-readable `FedRequest::opcode()` statistics name).
+pub fn request_opcode(req: &FedRequest) -> u8 {
+    match req {
+        FedRequest::Put { .. } => REQ_PUT,
+        FedRequest::Remove { .. } => REQ_REMOVE,
+        FedRequest::Tsmm { .. } => REQ_TSMM,
+        FedRequest::Tmv { .. } => REQ_TMV,
+        FedRequest::MatVecKeep { .. } => REQ_MATVEC_KEEP,
+        FedRequest::ScalarOpKeep { .. } => REQ_SCALAR_OP_KEEP,
+        FedRequest::BinaryOpKeep { .. } => REQ_BINARY_OP_KEEP,
+        FedRequest::ColSums { .. } => REQ_COLSUMS,
+        FedRequest::SumSq { .. } => REQ_SUMSQ,
+        FedRequest::NumRows { .. } => REQ_NROWS,
+        FedRequest::LinRegGradient { .. } => REQ_LINREG_GRAD,
+        FedRequest::Ping => REQ_PING,
+        FedRequest::Shutdown => REQ_SHUTDOWN,
+    }
+}
+
+fn encode_request_payload(req: &FedRequest) -> BytesMut {
+    let mut buf = BytesMut::new();
+    match req {
+        FedRequest::Put { var, data } => {
+            put_str(&mut buf, var);
+            encode_block(data, &mut buf);
+        }
+        FedRequest::Remove { var }
+        | FedRequest::Tsmm { var }
+        | FedRequest::ColSums { var }
+        | FedRequest::SumSq { var }
+        | FedRequest::NumRows { var } => put_str(&mut buf, var),
+        FedRequest::Tmv { x, y } => {
+            put_str(&mut buf, x);
+            put_str(&mut buf, y);
+        }
+        FedRequest::MatVecKeep { var, v, out } => {
+            put_str(&mut buf, var);
+            put_str(&mut buf, out);
+            encode_block(v, &mut buf);
+        }
+        FedRequest::ScalarOpKeep {
+            var,
+            op,
+            scalar,
+            out,
+        } => {
+            put_str(&mut buf, var);
+            put_str(&mut buf, out);
+            buf.put_u8(op_to_u8(*op));
+            buf.put_f64_le(*scalar);
+        }
+        FedRequest::BinaryOpKeep { lhs, rhs, op, out } => {
+            put_str(&mut buf, lhs);
+            put_str(&mut buf, rhs);
+            put_str(&mut buf, out);
+            buf.put_u8(op_to_u8(*op));
+        }
+        FedRequest::LinRegGradient { x, y, w } => {
+            put_str(&mut buf, x);
+            put_str(&mut buf, y);
+            encode_block(w, &mut buf);
+        }
+        FedRequest::Ping | FedRequest::Shutdown => {}
+    }
+    buf
+}
+
+fn decode_request_payload(opcode: u8, payload: Vec<u8>) -> Result<FedRequest> {
+    let mut buf = Bytes::from(payload);
+    let req = match opcode {
+        REQ_PUT => FedRequest::Put {
+            var: get_str(&mut buf)?,
+            data: decode_block(&mut buf)?,
+        },
+        REQ_REMOVE => FedRequest::Remove {
+            var: get_str(&mut buf)?,
+        },
+        REQ_TSMM => FedRequest::Tsmm {
+            var: get_str(&mut buf)?,
+        },
+        REQ_TMV => FedRequest::Tmv {
+            x: get_str(&mut buf)?,
+            y: get_str(&mut buf)?,
+        },
+        REQ_MATVEC_KEEP => FedRequest::MatVecKeep {
+            var: get_str(&mut buf)?,
+            out: get_str(&mut buf)?,
+            v: decode_block(&mut buf)?,
+        },
+        REQ_SCALAR_OP_KEEP => {
+            let var = get_str(&mut buf)?;
+            let out = get_str(&mut buf)?;
+            let op = u8_to_op(get_u8(&mut buf)?)?;
+            let scalar = get_f64(&mut buf)?;
+            FedRequest::ScalarOpKeep {
+                var,
+                op,
+                scalar,
+                out,
+            }
+        }
+        REQ_BINARY_OP_KEEP => {
+            let lhs = get_str(&mut buf)?;
+            let rhs = get_str(&mut buf)?;
+            let out = get_str(&mut buf)?;
+            let op = u8_to_op(get_u8(&mut buf)?)?;
+            FedRequest::BinaryOpKeep { lhs, rhs, op, out }
+        }
+        REQ_COLSUMS => FedRequest::ColSums {
+            var: get_str(&mut buf)?,
+        },
+        REQ_SUMSQ => FedRequest::SumSq {
+            var: get_str(&mut buf)?,
+        },
+        REQ_NROWS => FedRequest::NumRows {
+            var: get_str(&mut buf)?,
+        },
+        REQ_LINREG_GRAD => FedRequest::LinRegGradient {
+            x: get_str(&mut buf)?,
+            y: get_str(&mut buf)?,
+            w: decode_block(&mut buf)?,
+        },
+        REQ_PING => FedRequest::Ping,
+        REQ_SHUTDOWN => FedRequest::Shutdown,
+        other => {
+            return Err(SysDsError::Format(format!(
+                "unknown request opcode {other}"
+            )))
+        }
+    };
+    if buf.remaining() != 0 {
+        return Err(SysDsError::Format(format!(
+            "{} trailing bytes after request payload",
+            buf.remaining()
+        )));
+    }
+    Ok(req)
+}
+
+fn encode_response_payload(resp: &FedResponse) -> (u8, BytesMut) {
+    let mut buf = BytesMut::new();
+    let opcode = match resp {
+        FedResponse::Ok => RESP_OK,
+        FedResponse::Aggregate(m) => {
+            encode_block(m, &mut buf);
+            RESP_AGGREGATE
+        }
+        FedResponse::Scalar(v) => {
+            buf.put_f64_le(*v);
+            RESP_SCALAR
+        }
+        FedResponse::Error(msg) => {
+            put_str(&mut buf, msg);
+            RESP_ERROR
+        }
+    };
+    (opcode, buf)
+}
+
+fn decode_response_payload(opcode: u8, payload: Vec<u8>) -> Result<FedResponse> {
+    let mut buf = Bytes::from(payload);
+    let resp = match opcode {
+        RESP_OK => FedResponse::Ok,
+        RESP_AGGREGATE => FedResponse::Aggregate(decode_block(&mut buf)?),
+        RESP_SCALAR => FedResponse::Scalar(get_f64(&mut buf)?),
+        RESP_ERROR => FedResponse::Error(get_str(&mut buf)?),
+        other => {
+            return Err(SysDsError::Format(format!(
+                "unknown response opcode {other}"
+            )))
+        }
+    };
+    if buf.remaining() != 0 {
+        return Err(SysDsError::Format(format!(
+            "{} trailing bytes after response payload",
+            buf.remaining()
+        )));
+    }
+    Ok(resp)
+}
+
+fn frame(kind: FrameKind, opcode: u8, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(match kind {
+        FrameKind::Request => 0,
+        FrameKind::Response => 1,
+    });
+    out.push(opcode);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encode a complete request frame.
+pub fn request_frame(request_id: u64, req: &FedRequest) -> Vec<u8> {
+    let payload = encode_request_payload(req);
+    frame(
+        FrameKind::Request,
+        request_opcode(req),
+        request_id,
+        &payload,
+    )
+}
+
+/// Encode a complete response frame.
+pub fn response_frame(request_id: u64, resp: &FedResponse) -> Vec<u8> {
+    let (opcode, payload) = encode_response_payload(resp);
+    frame(FrameKind::Response, opcode, request_id, &payload)
+}
+
+/// Parse a header from its 24 fixed bytes.
+pub fn parse_header(raw: &[u8; HEADER_LEN]) -> Result<FrameHeader> {
+    if raw[0..4] != MAGIC {
+        return Err(SysDsError::Format("bad frame magic".into()));
+    }
+    let version = u16::from_le_bytes([raw[4], raw[5]]);
+    if version != VERSION {
+        return Err(SysDsError::Format(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+    let kind = match raw[6] {
+        0 => FrameKind::Request,
+        1 => FrameKind::Response,
+        k => return Err(SysDsError::Format(format!("unknown frame kind {k}"))),
+    };
+    let request_id = u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(raw[16..24].try_into().expect("8 bytes"));
+    if payload_len > MAX_PAYLOAD {
+        return Err(SysDsError::Format(format!(
+            "frame payload length {payload_len} exceeds limit"
+        )));
+    }
+    Ok(FrameHeader {
+        kind,
+        opcode: raw[7],
+        request_id,
+        payload_len,
+    })
+}
+
+/// Parse a complete request frame (header + payload) from a byte slice.
+pub fn parse_request_frame(bytes: &[u8]) -> Result<(u64, FedRequest)> {
+    let (header, payload) = split_frame(bytes)?;
+    if header.kind != FrameKind::Request {
+        return Err(SysDsError::Format("expected a request frame".into()));
+    }
+    Ok((
+        header.request_id,
+        decode_request_payload(header.opcode, payload)?,
+    ))
+}
+
+/// Parse a complete response frame (header + payload) from a byte slice.
+pub fn parse_response_frame(bytes: &[u8]) -> Result<(u64, FedResponse)> {
+    let (header, payload) = split_frame(bytes)?;
+    if header.kind != FrameKind::Response {
+        return Err(SysDsError::Format("expected a response frame".into()));
+    }
+    Ok((
+        header.request_id,
+        decode_response_payload(header.opcode, payload)?,
+    ))
+}
+
+fn split_frame(bytes: &[u8]) -> Result<(FrameHeader, Vec<u8>)> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SysDsError::Format("truncated frame header".into()));
+    }
+    let header = parse_header(bytes[..HEADER_LEN].try_into().expect("header bytes"))?;
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != header.payload_len {
+        return Err(SysDsError::Format(format!(
+            "frame payload length mismatch: header says {}, got {}",
+            header.payload_len,
+            payload.len()
+        )));
+    }
+    Ok((header, payload.to_vec()))
+}
+
+/// Read one frame from a stream. Transport failures surface as the io
+/// error; protocol violations as `Ok(Err(..))` so callers can distinguish
+/// "retry the connection" from "corrupt peer".
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Result<(FrameHeader, Vec<u8>)>> {
+    let mut head = [0u8; HEADER_LEN];
+    r.read_exact(&mut head)?;
+    let header = match parse_header(&head) {
+        Ok(h) => h,
+        Err(e) => return Ok(Err(e)),
+    };
+    let mut payload = vec![0u8; header.payload_len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Ok((header, payload)))
+}
+
+/// Write one pre-encoded frame to a stream, returning the byte count.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> std::io::Result<usize> {
+    w.write_all(frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Decode the request carried by a frame read with [`read_frame`].
+pub fn decode_request(header: &FrameHeader, payload: Vec<u8>) -> Result<FedRequest> {
+    if header.kind != FrameKind::Request {
+        return Err(SysDsError::Format("expected a request frame".into()));
+    }
+    decode_request_payload(header.opcode, payload)
+}
+
+/// Decode the response carried by a frame read with [`read_frame`].
+pub fn decode_response(header: &FrameHeader, payload: Vec<u8>) -> Result<FedResponse> {
+    if header.kind != FrameKind::Response {
+        return Err(SysDsError::Format("expected a response frame".into()));
+    }
+    decode_response_payload(header.opcode, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysds_tensor::Matrix;
+
+    #[test]
+    fn request_frame_round_trips() {
+        let req = FedRequest::Put {
+            var: "X".into(),
+            data: Matrix::filled(3, 2, 1.5),
+        };
+        let bytes = request_frame(42, &req);
+        let (id, back) = parse_request_frame(&bytes).unwrap();
+        assert_eq!(id, 42);
+        match back {
+            FedRequest::Put { var, data } => {
+                assert_eq!(var, "X");
+                assert_eq!(data.shape(), (3, 2));
+                assert_eq!(data.get(2, 1), 1.5);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_frame_round_trips() {
+        let bytes = response_frame(7, &FedResponse::Scalar(2.25));
+        let (id, back) = parse_response_frame(&bytes).unwrap();
+        assert_eq!(id, 7);
+        assert!(matches!(back, FedResponse::Scalar(v) if v == 2.25));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = request_frame(1, &FedRequest::Ping);
+        bytes[0] = b'X';
+        assert!(parse_request_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let bytes = request_frame(
+            1,
+            &FedRequest::Tsmm {
+                var: "long_variable_name".into(),
+            },
+        );
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN + 3, bytes.len() - 1] {
+            assert!(parse_request_frame(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut bytes = request_frame(1, &FedRequest::Ping);
+        bytes[4] = 0xff;
+        assert!(parse_request_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn all_binary_ops_round_trip() {
+        for code in 0..17u8 {
+            let op = u8_to_op(code).unwrap();
+            assert_eq!(op_to_u8(op), code);
+        }
+        assert!(u8_to_op(17).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_length_rejected() {
+        let mut bytes = request_frame(1, &FedRequest::Ping);
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(parse_request_frame(&bytes).is_err());
+    }
+}

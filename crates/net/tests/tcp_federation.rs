@@ -1,0 +1,237 @@
+//! End-to-end federation over real sockets: the TCP transport must be
+//! indistinguishable from the in-process channel transport (bitwise-equal
+//! results), and every injected failure mode — dropped responses, truncated
+//! frames, deadline overruns, dead sites — must resolve through the
+//! robustness layer (retries, dedup, typed degradation).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use sysds_common::{NetConfig, SysDsError};
+use sysds_fed::learn::federated_lm;
+use sysds_fed::{FedRequest, FederatedMatrix, Transport, WorkerHandle};
+use sysds_net::{FaultPlan, TcpTransport, WorkerServer};
+use sysds_tensor::kernels::gen;
+use sysds_tensor::Matrix;
+
+/// Fast-failing config so negative-path tests stay quick.
+fn quick_cfg() -> NetConfig {
+    NetConfig::default()
+        .request_timeout_ms(2000)
+        .max_retries(3)
+        .backoff_base_ms(5)
+}
+
+fn connect(server: &WorkerServer, cfg: NetConfig) -> Arc<TcpTransport> {
+    Arc::new(TcpTransport::connect(&server.local_addr().to_string(), cfg).unwrap())
+}
+
+fn lm_over(workers: &[Arc<dyn Transport>], x: &Matrix, y: &Matrix, lambda: f64) -> Matrix {
+    let fx = FederatedMatrix::scatter(x, workers).unwrap();
+    let fy = FederatedMatrix::scatter(y, workers).unwrap();
+    federated_lm(&fx, &fy, lambda).unwrap()
+}
+
+#[test]
+fn tcp_lm_is_bitwise_identical_to_in_process() {
+    let (x, y) = gen::synthetic_regression(80, 5, 1.0, 0.1, 99);
+    let servers: Vec<WorkerServer> = (0..3)
+        .map(|_| WorkerServer::bind("127.0.0.1:0", vec![], 1).unwrap())
+        .collect();
+    let tcp: Vec<Arc<dyn Transport>> = servers
+        .iter()
+        .map(|s| connect(s, quick_cfg()) as Arc<dyn Transport>)
+        .collect();
+    let local: Vec<Arc<dyn Transport>> = (0..3)
+        .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)) as Arc<dyn Transport>)
+        .collect();
+    for lambda in [0.0, 0.01, 1.0] {
+        let over_tcp = lm_over(&tcp, &x, &y, lambda);
+        let in_process = lm_over(&local, &x, &y, lambda);
+        assert_eq!(
+            over_tcp.to_vec(),
+            in_process.to_vec(),
+            "transport changed the result at lambda={lambda}"
+        );
+    }
+}
+
+#[test]
+fn dropped_first_response_completes_via_retry() {
+    let (x, y) = gen::synthetic_regression(60, 4, 1.0, 0.1, 100);
+    // Site 0 executes its first post-connect request (the Put from
+    // scatter) but never answers it: the client must retry, and the
+    // site-side request-id dedup must answer the replay from cache
+    // without re-executing the mutation. Sequence 0 is the connect ping.
+    let faulty = WorkerServer::bind_with_faults(
+        "127.0.0.1:0",
+        vec![],
+        1,
+        FaultPlan::none().drop_response(1),
+    )
+    .unwrap();
+    let clean = WorkerServer::bind("127.0.0.1:0", vec![], 1).unwrap();
+    let t0 = connect(&faulty, quick_cfg());
+    let tcp: Vec<Arc<dyn Transport>> = vec![
+        Arc::clone(&t0) as Arc<dyn Transport>,
+        connect(&clean, quick_cfg()) as Arc<dyn Transport>,
+    ];
+    let local: Vec<Arc<dyn Transport>> = (0..2)
+        .map(|_| Arc::new(WorkerHandle::spawn(vec![], 1)) as Arc<dyn Transport>)
+        .collect();
+    assert_eq!(
+        lm_over(&tcp, &x, &y, 0.01).to_vec(),
+        lm_over(&local, &x, &y, 0.01).to_vec()
+    );
+    let stats = sysds_obs::net::site_stats();
+    let site = stats
+        .iter()
+        .find(|s| s.endpoint == t0.endpoint())
+        .expect("faulty site recorded");
+    assert!(site.retries >= 1, "retry not recorded: {site:?}");
+}
+
+#[test]
+fn truncated_response_completes_via_retry() {
+    let (x, y) = gen::synthetic_regression(50, 3, 1.0, 0.1, 101);
+    let faulty = WorkerServer::bind_with_faults(
+        "127.0.0.1:0",
+        vec![],
+        1,
+        FaultPlan::none().truncate_response(1, 10),
+    )
+    .unwrap();
+    let tcp: Vec<Arc<dyn Transport>> = vec![connect(&faulty, quick_cfg()) as Arc<dyn Transport>];
+    let local: Vec<Arc<dyn Transport>> =
+        vec![Arc::new(WorkerHandle::spawn(vec![], 1)) as Arc<dyn Transport>];
+    assert_eq!(
+        lm_over(&tcp, &x, &y, 0.0).to_vec(),
+        lm_over(&local, &x, &y, 0.0).to_vec()
+    );
+}
+
+#[test]
+fn delayed_response_times_out_then_retries() {
+    let (x, y) = gen::synthetic_regression(40, 3, 1.0, 0.1, 102);
+    // The delayed response overruns the 100ms per-attempt deadline; the
+    // retry (sequence 2, no fault) succeeds.
+    let faulty = WorkerServer::bind_with_faults(
+        "127.0.0.1:0",
+        vec![],
+        1,
+        FaultPlan::none().delay_response(1, 600),
+    )
+    .unwrap();
+    let cfg = quick_cfg().request_timeout_ms(100);
+    let t = connect(&faulty, cfg);
+    let tcp: Vec<Arc<dyn Transport>> = vec![Arc::clone(&t) as Arc<dyn Transport>];
+    let local: Vec<Arc<dyn Transport>> =
+        vec![Arc::new(WorkerHandle::spawn(vec![], 1)) as Arc<dyn Transport>];
+    assert_eq!(
+        lm_over(&tcp, &x, &y, 0.1).to_vec(),
+        lm_over(&local, &x, &y, 0.1).to_vec()
+    );
+    let stats = sysds_obs::net::site_stats();
+    let site = stats
+        .iter()
+        .find(|s| s.endpoint == t.endpoint())
+        .expect("site recorded");
+    assert!(site.timeouts >= 1, "timeout not recorded: {site:?}");
+}
+
+#[test]
+fn dead_site_degrades_to_site_lost() {
+    let mut server = WorkerServer::bind("127.0.0.1:0", vec![], 1).unwrap();
+    let cfg = quick_cfg().max_retries(1).request_timeout_ms(300);
+    let t = connect(&server, cfg);
+    server.shutdown();
+    let err = t
+        .request(FedRequest::NumRows { var: "X".into() })
+        .unwrap_err();
+    assert!(
+        matches!(err, SysDsError::FederatedSiteLost { .. }),
+        "expected FederatedSiteLost, got: {err}"
+    );
+    assert!(!t.is_healthy());
+}
+
+#[test]
+fn site_error_is_a_reply_not_a_retry_storm() {
+    // A request that fails *at the site* (missing variable) must come back
+    // as one FedResponse::Error reply — a federated error, not a transport
+    // failure, and without burning the retry budget.
+    let server = WorkerServer::bind("127.0.0.1:0", vec![], 1).unwrap();
+    let t = connect(&server, quick_cfg());
+    let before = sysds_obs::net::site_stats()
+        .iter()
+        .find(|s| s.endpoint == t.endpoint())
+        .map(|s| s.retries)
+        .unwrap_or(0);
+    let err = t
+        .request(FedRequest::Tsmm { var: "nope".into() })
+        .unwrap_err();
+    assert!(
+        matches!(err, SysDsError::Federated(_)),
+        "expected Federated error, got: {err}"
+    );
+    let after = sysds_obs::net::site_stats()
+        .iter()
+        .find(|s| s.endpoint == t.endpoint())
+        .map(|s| s.retries)
+        .unwrap_or(0);
+    assert_eq!(before, after, "site-side errors must not be retried");
+}
+
+#[test]
+fn wire_shutdown_stops_the_daemon_gracefully() {
+    let server = WorkerServer::bind("127.0.0.1:0", vec![], 1).unwrap();
+    let t = connect(&server, quick_cfg());
+    t.shutdown_site().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !server.is_stopped() {
+        assert!(Instant::now() < deadline, "daemon did not stop");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn heartbeat_detects_a_dying_site() {
+    let mut server = WorkerServer::bind("127.0.0.1:0", vec![], 1).unwrap();
+    let mut cfg = quick_cfg().max_retries(0).request_timeout_ms(200);
+    cfg.heartbeat_interval_ms = 50;
+    let t = connect(&server, cfg);
+    t.start_heartbeat();
+    assert!(t.is_healthy());
+    server.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while t.is_healthy() {
+        assert!(
+            Instant::now() < deadline,
+            "heartbeat never noticed the dead site"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn parameter_server_trains_over_tcp() {
+    let (x, y) = gen::synthetic_regression(120, 4, 1.0, 0.0, 103);
+    let servers: Vec<WorkerServer> = (0..2)
+        .map(|_| WorkerServer::bind("127.0.0.1:0", vec![], 1).unwrap())
+        .collect();
+    let tcp: Vec<Arc<dyn Transport>> = servers
+        .iter()
+        .map(|s| connect(s, quick_cfg()) as Arc<dyn Transport>)
+        .collect();
+    let fx = FederatedMatrix::scatter(&x, &tcp).unwrap();
+    let fy = FederatedMatrix::scatter(&y, &tcp).unwrap();
+    let mut ps = sysds_fed::learn::FederatedParamServer::new(4, 0.5, 0.0);
+    let first = ps.step(&fx, &fy).unwrap();
+    let mut last = first;
+    for _ in 0..30 {
+        last = ps.step(&fx, &fy).unwrap();
+    }
+    assert!(
+        last < first,
+        "gradient norm should shrink: {first} -> {last}"
+    );
+}

@@ -1,0 +1,239 @@
+//! Property tests for the framed wire protocol: every request/response
+//! variant survives serialize → deserialize exactly (including empty and
+//! large matrices), and truncated or corrupted frames are rejected instead
+//! of being half-decoded.
+
+use proptest::prelude::*;
+use sysds_fed::{FedRequest, FedResponse};
+use sysds_net::wire;
+use sysds_tensor::kernels::gen;
+use sysds_tensor::kernels::BinaryOp;
+use sysds_tensor::Matrix;
+
+/// All binary ops the wire protocol must carry.
+const OPS: [BinaryOp; 17] = [
+    BinaryOp::Add,
+    BinaryOp::Sub,
+    BinaryOp::Mul,
+    BinaryOp::Div,
+    BinaryOp::Pow,
+    BinaryOp::Mod,
+    BinaryOp::IntDiv,
+    BinaryOp::Min,
+    BinaryOp::Max,
+    BinaryOp::Eq,
+    BinaryOp::Neq,
+    BinaryOp::Lt,
+    BinaryOp::Le,
+    BinaryOp::Gt,
+    BinaryOp::Ge,
+    BinaryOp::And,
+    BinaryOp::Or,
+];
+
+/// A matrix of the given shape — empty when either dimension is 0, dense
+/// or sparse otherwise depending on `sparsity`.
+fn matrix_for(rows: usize, cols: usize, sparsity: f64, seed: u64) -> Matrix {
+    if rows == 0 || cols == 0 {
+        Matrix::zeros(rows, cols)
+    } else {
+        gen::rand_uniform(rows, cols, -1e6, 1e6, sparsity, seed).compact()
+    }
+}
+
+/// Exact structural equality via the derived debug representation: f64
+/// formatting is shortest-round-trip, so equal strings mean bitwise-equal
+/// values, shapes, and dense/sparse representation.
+fn same_request(a: &FedRequest, b: &FedRequest) -> bool {
+    format!("{a:?}") == format!("{b:?}")
+}
+
+fn same_response(a: &FedResponse, b: &FedResponse) -> bool {
+    format!("{a:?}") == format!("{b:?}")
+}
+
+/// One instance of every request variant from the generated ingredients.
+fn all_request_variants(var: String, m: Matrix, op: BinaryOp, scalar: f64) -> Vec<FedRequest> {
+    vec![
+        FedRequest::Put {
+            var: var.clone(),
+            data: m.clone(),
+        },
+        FedRequest::Remove { var: var.clone() },
+        FedRequest::Tsmm { var: var.clone() },
+        FedRequest::Tmv {
+            x: var.clone(),
+            y: format!("{var}_y"),
+        },
+        FedRequest::MatVecKeep {
+            var: var.clone(),
+            v: m.clone(),
+            out: format!("{var}_out"),
+        },
+        FedRequest::ScalarOpKeep {
+            var: var.clone(),
+            op,
+            scalar,
+            out: format!("{var}_out"),
+        },
+        FedRequest::BinaryOpKeep {
+            lhs: var.clone(),
+            rhs: format!("{var}_rhs"),
+            op,
+            out: format!("{var}_out"),
+        },
+        FedRequest::ColSums { var: var.clone() },
+        FedRequest::SumSq { var: var.clone() },
+        FedRequest::NumRows { var: var.clone() },
+        FedRequest::LinRegGradient {
+            x: var.clone(),
+            y: format!("{var}_y"),
+            w: m,
+        },
+        FedRequest::Ping,
+        FedRequest::Shutdown,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_request_variant_round_trips(
+        var in "[a-zA-Z0-9_]{1,12}",
+        rows in 0usize..20,
+        cols in 0usize..8,
+        sparsity in prop_oneof![Just(1.0f64), Just(0.2)],
+        op_idx in 0usize..17,
+        scalar in -1e9f64..1e9,
+        id in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let m = matrix_for(rows, cols, sparsity, seed);
+        for req in all_request_variants(var.clone(), m, OPS[op_idx], scalar) {
+            let bytes = wire::request_frame(id, &req);
+            let (back_id, back) = wire::parse_request_frame(&bytes).unwrap();
+            prop_assert_eq!(back_id, id);
+            prop_assert!(
+                same_request(&req, &back),
+                "variant {:?} changed across the wire", req.opcode()
+            );
+        }
+    }
+
+    #[test]
+    fn every_response_variant_round_trips(
+        rows in 0usize..20,
+        cols in 0usize..8,
+        sparsity in prop_oneof![Just(1.0f64), Just(0.2)],
+        scalar in prop_oneof![Just(0.0f64), Just(-0.0), Just(f64::NAN), Just(f64::INFINITY), Just(2.5e-300)],
+        msg in "[a-zA-Z0-9 _.]{0,40}",
+        id in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let m = matrix_for(rows, cols, sparsity, seed);
+        let responses = vec![
+            FedResponse::Ok,
+            FedResponse::Aggregate(m),
+            FedResponse::Scalar(scalar),
+            FedResponse::Error(msg),
+        ];
+        for resp in responses {
+            let bytes = wire::response_frame(id, &resp);
+            let (back_id, back) = wire::parse_response_frame(&bytes).unwrap();
+            prop_assert_eq!(back_id, id);
+            prop_assert!(same_response(&resp, &back), "{resp:?} vs {back:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(
+        var in "[a-z]{1,6}",
+        rows in 1usize..4,
+        cols in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        // A small Put frame (header + strings + matrix block): every strict
+        // prefix must fail to parse — no cut point half-applies.
+        let req = FedRequest::Put {
+            var,
+            data: matrix_for(rows, cols, 1.0, seed),
+        };
+        let bytes = wire::request_frame(1, &req);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                wire::parse_request_frame(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes was accepted", bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_header_bytes_are_rejected(
+        id in any::<u64>(),
+    ) {
+        // Clobbering any of magic, version, kind, or opcode must fail the
+        // parse (0xff is outside every valid range).
+        let bytes = wire::request_frame(id, &FedRequest::Ping);
+        for pos in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] = 0xff;
+            prop_assert!(
+                wire::parse_request_frame(&corrupt).is_err(),
+                "corrupt byte {pos} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(
+        junk in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut bytes = wire::request_frame(9, &FedRequest::Tsmm { var: "X".into() });
+        bytes.extend_from_slice(&junk);
+        prop_assert!(wire::parse_request_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn response_as_request_is_rejected(id in any::<u64>()) {
+        let resp = wire::response_frame(id, &FedResponse::Ok);
+        prop_assert!(wire::parse_request_frame(&resp).is_err());
+        let req = wire::request_frame(id, &FedRequest::Ping);
+        prop_assert!(wire::parse_response_frame(&req).is_err());
+    }
+}
+
+#[test]
+fn large_dense_matrix_round_trips() {
+    let m = gen::rand_uniform(300, 200, -1.0, 1.0, 1.0, 77);
+    let req = FedRequest::Put {
+        var: "big".into(),
+        data: m,
+    };
+    let bytes = wire::request_frame(5, &req);
+    assert!(bytes.len() > 300 * 200 * 8, "payload carries all cells");
+    let (_, back) = wire::parse_request_frame(&bytes).unwrap();
+    assert!(same_request(&req, &back));
+}
+
+#[test]
+fn large_sparse_matrix_round_trips() {
+    let m = gen::rand_uniform(2000, 500, -1.0, 1.0, 0.001, 78).compact();
+    let resp = FedResponse::Aggregate(m);
+    let bytes = wire::response_frame(6, &resp);
+    let (_, back) = wire::parse_response_frame(&bytes).unwrap();
+    assert!(same_response(&resp, &back));
+}
+
+#[test]
+fn empty_matrix_round_trips() {
+    for (rows, cols) in [(0usize, 0usize), (0, 5), (5, 0)] {
+        let req = FedRequest::Put {
+            var: "empty".into(),
+            data: Matrix::zeros(rows, cols),
+        };
+        let bytes = wire::request_frame(1, &req);
+        let (_, back) = wire::parse_request_frame(&bytes).unwrap();
+        assert!(same_request(&req, &back), "shape {rows}x{cols}");
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod audit;
 pub mod chrome_trace;
+pub mod net;
 pub mod registry;
 pub mod report;
 pub mod span;
@@ -33,6 +34,7 @@ pub mod trace;
 
 pub use audit::{AuditRow, EstimateInfo, RecompileTrigger, RecompileTriggers};
 pub use chrome_trace::{parse_events, ChromeEvent};
+pub use net::SiteStats;
 pub use registry::{counters, CounterSnapshot, Counters, HeavyHitter, OpStats, Phase};
 pub use span::{set_worker, Span, WorkerGuard};
 pub use trace::{parse_record, TraceRecord};
@@ -109,6 +111,7 @@ pub fn disable_trace() {
 pub fn reset() {
     registry::reset();
     audit::reset();
+    net::reset();
 }
 
 /// Serializes unit tests that mutate the global flags or trace sink;

@@ -248,6 +248,20 @@ pub struct Counters {
     pub fusion_hits: AtomicU64,
     /// Bytes of per-operator intermediates fusion avoided materializing.
     pub fusion_bytes_saved: AtomicU64,
+    /// Network transport: completed request round trips.
+    pub net_requests: AtomicU64,
+    /// Network transport: re-sent attempts beyond each request's first try.
+    pub net_retries: AtomicU64,
+    /// Network transport: attempts abandoned at the per-request deadline.
+    pub net_timeouts: AtomicU64,
+    /// Network transport: requests that exhausted their retry budget.
+    pub net_failures: AtomicU64,
+    /// Network transport: request frame bytes written to sockets.
+    pub net_bytes_sent: AtomicU64,
+    /// Network transport: response frame bytes read from sockets.
+    pub net_bytes_recv: AtomicU64,
+    /// Network transport: summed request round-trip latency.
+    pub net_request_nanos: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -267,6 +281,13 @@ static COUNTERS: Counters = Counters {
     recompiles: AtomicU64::new(0),
     fusion_hits: AtomicU64::new(0),
     fusion_bytes_saved: AtomicU64::new(0),
+    net_requests: AtomicU64::new(0),
+    net_retries: AtomicU64::new(0),
+    net_timeouts: AtomicU64::new(0),
+    net_failures: AtomicU64::new(0),
+    net_bytes_sent: AtomicU64::new(0),
+    net_bytes_recv: AtomicU64::new(0),
+    net_request_nanos: AtomicU64::new(0),
 };
 
 /// The global counter set.
@@ -293,6 +314,13 @@ pub struct CounterSnapshot {
     pub recompiles: u64,
     pub fusion_hits: u64,
     pub fusion_bytes_saved: u64,
+    pub net_requests: u64,
+    pub net_retries: u64,
+    pub net_timeouts: u64,
+    pub net_failures: u64,
+    pub net_bytes_sent: u64,
+    pub net_bytes_recv: u64,
+    pub net_request_nanos: u64,
 }
 
 impl Counters {
@@ -315,6 +343,13 @@ impl Counters {
             recompiles: self.recompiles.load(Ordering::Relaxed),
             fusion_hits: self.fusion_hits.load(Ordering::Relaxed),
             fusion_bytes_saved: self.fusion_bytes_saved.load(Ordering::Relaxed),
+            net_requests: self.net_requests.load(Ordering::Relaxed),
+            net_retries: self.net_retries.load(Ordering::Relaxed),
+            net_timeouts: self.net_timeouts.load(Ordering::Relaxed),
+            net_failures: self.net_failures.load(Ordering::Relaxed),
+            net_bytes_sent: self.net_bytes_sent.load(Ordering::Relaxed),
+            net_bytes_recv: self.net_bytes_recv.load(Ordering::Relaxed),
+            net_request_nanos: self.net_request_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -342,6 +377,13 @@ pub fn reset() {
         &c.recompiles,
         &c.fusion_hits,
         &c.fusion_bytes_saved,
+        &c.net_requests,
+        &c.net_retries,
+        &c.net_timeouts,
+        &c.net_failures,
+        &c.net_bytes_sent,
+        &c.net_bytes_recv,
+        &c.net_request_nanos,
     ] {
         a.store(0, Ordering::Relaxed);
     }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use sysds::api::SystemDS;
 use sysds::Data;
 use sysds_fed::learn::{federated_lm, FederatedParamServer};
-use sysds_fed::{FederatedMatrix, WorkerHandle};
+use sysds_fed::{FederatedMatrix, Transport, WorkerHandle};
 use sysds_tensor::kernels::gen;
 
 fn main() -> sysds::Result<()> {
@@ -45,8 +45,8 @@ fn main() -> sysds::Result<()> {
     );
 
     // --- Path 2: the federated API directly ------------------------------
-    let workers: Vec<Arc<WorkerHandle>> = (0..3)
-        .map(|_| Arc::new(WorkerHandle::spawn(vec![], 2)))
+    let workers: Vec<Arc<dyn Transport>> = (0..3)
+        .map(|_| Arc::new(WorkerHandle::spawn(vec![], 2)) as Arc<dyn Transport>)
         .collect();
     let fx = FederatedMatrix::scatter(&x, &workers)?;
     let fy = FederatedMatrix::scatter(&y, &workers)?;

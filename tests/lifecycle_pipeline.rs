@@ -28,7 +28,15 @@ fn dir() -> PathBuf {
 /// A small messy dataset: categorical city, numeric age/income with a
 /// missing value and an outlier, boolean-ish flag, and a target column.
 fn messy_csv() -> PathBuf {
-    let p = dir().join(format!("people-{}.csv", std::process::id()));
+    // Unique per call: tests in this binary run concurrently, and a shared
+    // path would race one test's truncating write against another's read.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CALL: AtomicU64 = AtomicU64::new(0);
+    let p = dir().join(format!(
+        "people-{}-{}.csv",
+        std::process::id(),
+        CALL.fetch_add(1, Ordering::Relaxed)
+    ));
     std::fs::write(
         &p,
         "city,age,income,flag,target\n\
