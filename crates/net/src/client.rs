@@ -28,9 +28,26 @@ use sysds_common::rng::XorShift64;
 use sysds_common::{NetConfig, Result, SysDsError};
 use sysds_fed::{FedRequest, FedResponse, Transport};
 
-/// Process-wide request-id source; ids must be unique per site because the
-/// server deduplicates replays by id.
-static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-wide request sequence, combined with a randomized epoch by
+/// [`next_request_id`].
+static NEXT_REQUEST_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Produce a request id that is unique per site *across processes*: the
+/// server deduplicates mutating replays by id against a long-lived cache,
+/// so a restarted or second master must never reuse a predecessor's ids.
+/// The high 32 bits are a per-process random epoch (OS-seeded `RandomState`
+/// folded with the pid); the low 32 bits count up within the process.
+fn next_request_id() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<u64> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(|| {
+        let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+        h.write_u32(std::process::id());
+        h.finish() << 32
+    });
+    epoch | (NEXT_REQUEST_SEQ.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF)
+}
 
 /// Most idle connections kept per site.
 const POOL_LIMIT: usize = 4;
@@ -78,14 +95,16 @@ impl TcpTransport {
 
     /// Start a background heartbeat: pings every
     /// [`NetConfig::heartbeat_interval_ms`] and updates [`Self::is_healthy`].
-    /// Requires the transport behind an `Arc` so the pinger can outlive the
-    /// calling scope; stops automatically when the transport is dropped.
+    /// The pinger holds only a `Weak` reference, so it does not keep the
+    /// transport alive: dropping the last `Arc` (or calling
+    /// [`Self::stop_heartbeat`]) stops the thread. A stopped heartbeat
+    /// cannot be restarted.
     pub fn start_heartbeat(self: &Arc<Self>) {
         let mut slot = self.heartbeat.lock().expect("heartbeat poisoned");
         if slot.is_some() {
             return;
         }
-        let me = Arc::clone(self);
+        let me = Arc::downgrade(self);
         let stop = Arc::clone(&self.heartbeat_stop);
         let interval = Duration::from_millis(self.cfg.heartbeat_interval_ms.max(10));
         *slot = Some(std::thread::spawn(move || {
@@ -99,13 +118,27 @@ impl TcpTransport {
                     std::thread::sleep(slice);
                     slept += slice;
                 }
-                let ok = me.single_attempt(&wire::request_frame(
-                    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed),
-                    &FedRequest::Ping,
-                ));
-                me.healthy.store(ok.is_ok(), Ordering::Relaxed);
+                // Upgrade only around the ping: if every strong reference
+                // is gone the transport is being (or has been) dropped.
+                let Some(t) = me.upgrade() else { return };
+                let ok =
+                    t.single_attempt(&wire::request_frame(next_request_id(), &FedRequest::Ping));
+                t.healthy.store(ok.is_ok(), Ordering::Relaxed);
             }
         }));
+    }
+
+    /// Stop the background heartbeat and join its thread (also happens
+    /// automatically when the transport is dropped).
+    pub fn stop_heartbeat(&self) {
+        self.heartbeat_stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.heartbeat.lock().expect("heartbeat poisoned").take() {
+            // The pinger may itself hold the last Arc when the upgrade
+            // races a drop; never join the current thread.
+            if join.thread().id() != std::thread::current().id() {
+                let _ = join.join();
+            }
+        }
     }
 
     /// Ask the site daemon to shut down gracefully.
@@ -177,18 +210,20 @@ impl TcpTransport {
 
     fn backoff(&self, attempt: u32, rng: &mut XorShift64) -> Duration {
         let base = self.cfg.backoff_base_ms.max(1);
+        let max = self.cfg.backoff_max_ms.max(base);
         let exp = base.saturating_mul(1u64 << attempt.min(16));
-        let capped = exp.min(self.cfg.backoff_max_ms.max(base));
-        // Deterministic jitter in [0, capped): spreads synchronized
-        // retries without introducing nondeterminism into tests.
-        let jitter = rng.next_below(capped.max(1) as usize) as u64 / 2;
-        Duration::from_millis(capped + jitter)
+        let capped = exp.min(max);
+        // Deterministic jitter in [0, capped/2]: spreads synchronized
+        // retries without introducing nondeterminism into tests. The total
+        // is clamped so no single sleep ever exceeds backoff_max_ms.
+        let jitter = rng.next_below((capped / 2 + 1) as usize) as u64;
+        Duration::from_millis((capped + jitter).min(max))
     }
 }
 
 impl Transport for TcpTransport {
     fn exchange(&self, req: FedRequest) -> Result<FedResponse> {
-        let request_id = NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed);
+        let request_id = next_request_id();
         let frame = wire::request_frame(request_id, &req);
         let mut rng = XorShift64::new(self.cfg.jitter_seed ^ request_id);
         let attempts = self.cfg.max_retries as u64 + 1;
@@ -243,10 +278,7 @@ impl Transport for TcpTransport {
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        self.heartbeat_stop.store(true, Ordering::Relaxed);
-        if let Some(join) = self.heartbeat.lock().expect("heartbeat poisoned").take() {
-            let _ = join.join();
-        }
+        self.stop_heartbeat();
     }
 }
 
@@ -286,6 +318,48 @@ mod tests {
         assert!(b0 >= Duration::from_millis(10));
         assert!(b4 >= b0);
         let cap_ms = t.cfg.backoff_max_ms;
-        assert!(t.backoff(30, &mut rng) <= Duration::from_millis(cap_ms + cap_ms / 2 + 1));
+        for attempt in 0..40 {
+            assert!(
+                t.backoff(attempt, &mut rng) <= Duration::from_millis(cap_ms),
+                "attempt {attempt} slept past backoff_max_ms"
+            );
+        }
+    }
+
+    #[test]
+    fn request_ids_share_a_process_epoch_and_increment() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_eq!(a >> 32, b >> 32, "epoch must be stable within a process");
+        assert!(
+            (b & 0xFFFF_FFFF) > (a & 0xFFFF_FFFF),
+            "sequence must increase"
+        );
+    }
+
+    #[test]
+    fn heartbeat_thread_exits_when_transport_dropped() {
+        let mut cfg = NetConfig::default().request_timeout_ms(50);
+        cfg.heartbeat_interval_ms = 10;
+        let t = Arc::new(TcpTransport {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            endpoint: "tcp://test".into(),
+            cfg,
+            threads: 1,
+            pool: Mutex::new(Vec::new()),
+            healthy: AtomicBool::new(false),
+            heartbeat_stop: Arc::new(AtomicBool::new(false)),
+            heartbeat: Mutex::new(None),
+        });
+        t.start_heartbeat();
+        let weak = Arc::downgrade(&t);
+        drop(t); // must stop + join the pinger, not leak the transport
+        for _ in 0..200 {
+            if weak.upgrade().is_none() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("heartbeat thread kept the transport alive");
     }
 }

@@ -5,7 +5,12 @@
 //! [`FaultPlan`] triggers on, and a bounded request-id deduplication cache
 //! that makes retried mutating requests (`Put`, `Remove`, `*Keep`) exactly-
 //! once: a replayed request id is answered from the cache without
-//! re-executing.
+//! re-executing, and a retry that races the still-executing original (e.g.
+//! arriving on a second connection after a timeout) waits for the
+//! original's result via an in-flight marker instead of executing twice.
+//! Client request ids carry a randomized per-process epoch (see
+//! `client::next_request_id`), so a restarted or second master never
+//! collides with a predecessor's ids in this cache.
 //!
 //! Shutdown is graceful: a wire `Shutdown` request (or
 //! [`WorkerServer::shutdown`]) stops the accept loop, lets in-flight
@@ -17,9 +22,9 @@ use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use sysds_common::{Result, SysDsError};
 use sysds_fed::worker::execute_request;
 use sysds_fed::{FedRequest, FedResponse};
@@ -27,6 +32,9 @@ use sysds_tensor::Matrix;
 
 /// Maximum request ids remembered for replay deduplication.
 const DEDUP_CAPACITY: usize = 1024;
+/// Longest a retry waits for the original in-flight attempt to finish
+/// before giving up with an error reply.
+const DEDUP_WAIT_TIMEOUT: Duration = Duration::from_secs(60);
 /// Poll granularity of idle connections and the accept loop.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 /// Read deadline for the body of a frame whose first byte has arrived.
@@ -36,9 +44,19 @@ const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(30);
 /// visually distinct from in-process site ids.
 static NEXT_TCP_SITE: AtomicU64 = AtomicU64::new(10_000);
 
-/// Bounded request-id → response cache (FIFO eviction).
+/// State of a request id in the dedup cache.
+#[derive(Clone)]
+enum DedupEntry {
+    /// The first arrival is still executing; retries wait on the condvar.
+    InFlight,
+    /// Finished: replay the recorded response.
+    Done(FedResponse),
+}
+
+/// Bounded request-id → response cache (FIFO eviction of completed
+/// entries; in-flight markers are never evicted).
 struct DedupCache {
-    map: HashMap<u64, FedResponse>,
+    map: HashMap<u64, DedupEntry>,
     order: VecDeque<u64>,
 }
 
@@ -50,12 +68,18 @@ impl DedupCache {
         }
     }
 
-    fn get(&self, id: u64) -> Option<FedResponse> {
+    fn get(&self, id: u64) -> Option<DedupEntry> {
         self.map.get(&id).cloned()
     }
 
-    fn insert(&mut self, id: u64, resp: FedResponse) {
-        if self.map.insert(id, resp).is_none() {
+    /// Claim `id` for execution; the caller must later [`Self::complete`].
+    fn begin(&mut self, id: u64) {
+        self.map.insert(id, DedupEntry::InFlight);
+    }
+
+    /// Record the result of an in-flight id and make it evictable.
+    fn complete(&mut self, id: u64, resp: FedResponse) {
+        if self.map.insert(id, DedupEntry::Done(resp)).is_some() {
             self.order.push_back(id);
             while self.order.len() > DEDUP_CAPACITY {
                 if let Some(old) = self.order.pop_front() {
@@ -69,6 +93,8 @@ impl DedupCache {
 struct SiteState {
     vars: Mutex<HashMap<String, Matrix>>,
     dedup: Mutex<DedupCache>,
+    /// Signalled whenever an in-flight dedup entry completes.
+    dedup_done: Condvar,
     faults: FaultPlan,
     /// Server-wide request sequence; the fault plan matches against it.
     seq: AtomicU64,
@@ -114,6 +140,7 @@ impl WorkerServer {
         let state = Arc::new(SiteState {
             vars: Mutex::new(initial.into_iter().collect()),
             dedup: Mutex::new(DedupCache::new()),
+            dedup_done: Condvar::new(),
             faults,
             seq: AtomicU64::new(0),
             threads: threads.max(1),
@@ -268,23 +295,50 @@ fn respond(state: &SiteState, request_id: u64, req: FedRequest) -> FedResponse {
     if matches!(req, FedRequest::Shutdown) {
         return FedResponse::Ok;
     }
-    let dedup_needed = !req.idempotent();
-    if dedup_needed {
-        if let Some(cached) = state.dedup.lock().expect("dedup poisoned").get(request_id) {
-            return cached;
+    if req.idempotent() {
+        let mut vars = state.vars.lock().expect("site vars poisoned");
+        return execute_request(&mut vars, req, state.threads);
+    }
+    // Mutating request: under the dedup lock, atomically either claim the
+    // id (first arrival) or defer to the attempt that already did. A retry
+    // racing the still-executing original waits for its result instead of
+    // executing the mutation twice.
+    {
+        let mut cache = state.dedup.lock().expect("dedup poisoned");
+        let deadline = Instant::now() + DEDUP_WAIT_TIMEOUT;
+        loop {
+            match cache.get(request_id) {
+                Some(DedupEntry::Done(resp)) => return resp,
+                Some(DedupEntry::InFlight) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return FedResponse::Error(format!(
+                            "request {request_id} still in flight after {DEDUP_WAIT_TIMEOUT:?}"
+                        ));
+                    }
+                    cache = state
+                        .dedup_done
+                        .wait_timeout(cache, deadline - now)
+                        .expect("dedup poisoned")
+                        .0;
+                }
+                None => {
+                    cache.begin(request_id);
+                    break;
+                }
+            }
         }
     }
     let resp = {
         let mut vars = state.vars.lock().expect("site vars poisoned");
         execute_request(&mut vars, req, state.threads)
     };
-    if dedup_needed {
-        state
-            .dedup
-            .lock()
-            .expect("dedup poisoned")
-            .insert(request_id, resp.clone());
-    }
+    state
+        .dedup
+        .lock()
+        .expect("dedup poisoned")
+        .complete(request_id, resp.clone());
+    state.dedup_done.notify_all();
     resp
 }
 
@@ -295,15 +349,63 @@ mod tests {
     #[test]
     fn dedup_cache_replays_and_evicts() {
         let mut cache = DedupCache::new();
-        cache.insert(1, FedResponse::Scalar(1.0));
-        cache.insert(1, FedResponse::Scalar(1.0)); // re-insert is a no-op
-        assert!(matches!(cache.get(1), Some(FedResponse::Scalar(v)) if v == 1.0));
+        cache.begin(1);
+        assert!(matches!(cache.get(1), Some(DedupEntry::InFlight)));
+        cache.complete(1, FedResponse::Scalar(1.0));
+        assert!(matches!(cache.get(1), Some(DedupEntry::Done(FedResponse::Scalar(v))) if v == 1.0));
         assert!(cache.get(2).is_none());
         for id in 2..(DEDUP_CAPACITY as u64 + 2) {
-            cache.insert(id, FedResponse::Ok);
+            cache.begin(id);
+            cache.complete(id, FedResponse::Ok);
         }
-        assert!(cache.get(1).is_none(), "oldest entry evicted");
+        assert!(cache.get(1).is_none(), "oldest completed entry evicted");
         assert!(cache.get(DEDUP_CAPACITY as u64 + 1).is_some());
+    }
+
+    #[test]
+    fn retry_waits_for_in_flight_original_instead_of_reexecuting() {
+        let state = Arc::new(SiteState {
+            vars: Mutex::new(HashMap::new()),
+            dedup: Mutex::new(DedupCache::new()),
+            dedup_done: Condvar::new(),
+            faults: FaultPlan::none(),
+            seq: AtomicU64::new(0),
+            threads: 1,
+            shutdown: AtomicBool::new(false),
+            site_id: 0,
+        });
+        // Simulate the original attempt still executing.
+        state.dedup.lock().unwrap().begin(42);
+        let retry = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                respond(
+                    &state,
+                    42,
+                    FedRequest::Put {
+                        var: "X".into(),
+                        data: Matrix::filled(1, 1, 7.0),
+                    },
+                )
+            })
+        };
+        // Give the retry time to block, then publish the original result.
+        std::thread::sleep(Duration::from_millis(50));
+        state
+            .dedup
+            .lock()
+            .unwrap()
+            .complete(42, FedResponse::Scalar(9.0));
+        state.dedup_done.notify_all();
+        let resp = retry.join().unwrap();
+        assert!(
+            matches!(resp, FedResponse::Scalar(v) if v == 9.0),
+            "retry must replay the original result, got {resp:?}"
+        );
+        assert!(
+            state.vars.lock().unwrap().is_empty(),
+            "retry must not re-execute the mutation"
+        );
     }
 
     #[test]

@@ -35,8 +35,13 @@ pub const VERSION: u16 = 1;
 /// Fixed header length in bytes.
 pub const HEADER_LEN: usize = 24;
 /// Upper bound on a payload, guarding length-prefix corruption: a frame
-/// claiming more than this is rejected before any allocation.
+/// claiming more than this is rejected at header parse. Below the limit
+/// the payload is read in [`READ_CHUNK`]-sized steps, so a bogus length
+/// fails on `read_exact` instead of forcing a huge upfront allocation.
 pub const MAX_PAYLOAD: u64 = 1 << 34;
+/// Granularity of streaming payload reads (allocation grows with the
+/// bytes actually received, never with the header's claimed length).
+const READ_CHUNK: usize = 1 << 22;
 
 /// Frame kind: request (master → site) or response (site → master).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -445,8 +450,13 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Result<(FrameHeader, Vec
         Ok(h) => h,
         Err(e) => return Ok(Err(e)),
     };
-    let mut payload = vec![0u8; header.payload_len as usize];
-    r.read_exact(&mut payload)?;
+    let total = header.payload_len as usize;
+    let mut payload = Vec::with_capacity(total.min(READ_CHUNK));
+    while payload.len() < total {
+        let old = payload.len();
+        payload.resize(old + (total - old).min(READ_CHUNK), 0);
+        r.read_exact(&mut payload[old..])?;
+    }
     Ok(Ok((header, payload)))
 }
 
@@ -546,5 +556,17 @@ mod tests {
         let mut bytes = request_frame(1, &FedRequest::Ping);
         bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(parse_request_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn bogus_in_limit_length_fails_on_read_without_huge_alloc() {
+        // Header claims a multi-GiB payload (under MAX_PAYLOAD, so it
+        // passes header validation) but the stream ends immediately. The
+        // chunked reader must fail with an io error after allocating at
+        // most one READ_CHUNK — this test OOMs if it preallocates.
+        let mut bytes = request_frame(1, &FedRequest::Ping);
+        bytes[16..24].copy_from_slice(&(MAX_PAYLOAD - 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(read_frame(&mut cursor).is_err());
     }
 }
