@@ -10,6 +10,7 @@ pub mod config;
 pub mod error;
 pub mod hash;
 pub mod rng;
+pub mod testing;
 pub mod value;
 
 pub use config::{EngineConfig, NetConfig};

@@ -1,0 +1,51 @@
+//! Test-support utilities shared across the workspace's test suites.
+//!
+//! Integration tests used to share fixed temp directories (e.g. one spill
+//! dir per test *file*), which made concurrently running test binaries race
+//! on identical paths. Every test should instead call [`unique_temp_dir`]
+//! and get a directory that is unique per process *and* per call, so no two
+//! tests — in the same binary or across binaries — ever share a path.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, created temp directory `<tmp>/<prefix>-<pid>-<seq>`.
+///
+/// The pid isolates concurrently running test binaries; the per-process
+/// sequence number isolates tests (and repeated calls) within one binary.
+/// The directory exists on return.
+pub fn unique_temp_dir(prefix: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("{prefix}-{}-{seq}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("can create temp dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_are_unique_and_exist() {
+        let a = unique_temp_dir("sysds-testing");
+        let b = unique_temp_dir("sysds-testing");
+        assert_ne!(a, b);
+        assert!(a.is_dir());
+        assert!(b.is_dir());
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn prefix_appears_in_path() {
+        let d = unique_temp_dir("sysds-prefix-check");
+        assert!(d
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("sysds-prefix-check-"));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -10,6 +10,7 @@
 //! sysds run script.dml --chrome-trace t.json # chrome://tracing timeline
 //! sysds worker --listen 127.0.0.1:7461      # federated site daemon
 //! sysds fedlm --workers 127.0.0.1:7461 --stats # federated lm over TCP
+//! sysds fuzz --seed 0 --iters 1000          # differential conformance fuzz
 //! ```
 
 use std::process::ExitCode;
@@ -26,6 +27,7 @@ fn usage() -> ! {
         "usage: sysds run <script.dml> [options]\n\
          \x20      sysds worker --listen ADDR [--threads N]\n\
          \x20      sysds fedlm [--workers A,B,..] [options]\n\
+         \x20      sysds fuzz --seed S --iters N [--corpus DIR]\n\
          \n\
          run options:\n\
            --arg NAME=VALUE   substitute $NAME in the script with VALUE\n\
@@ -62,7 +64,23 @@ fn usage() -> ! {
            --stats            print runtime statistics incl. the per-site\n\
                               network table\n\
            --shutdown-workers send a graceful Shutdown to each remote site\n\
-                              after the run"
+                              after the run\n\
+         \n\
+         fuzz options (differential conformance harness):\n\
+           --seed S           campaign seed (default 0); iteration i fuzzes\n\
+                              an independent seed derived from (S, i)\n\
+           --iters N          scripts to generate and cross-check (default\n\
+                              100); each runs under the full configuration\n\
+                              matrix (fusion, threads, reuse, evict,\n\
+                              norecompile, blas vs the reference)\n\
+           --corpus DIR       write minimized .dml repros of any failing\n\
+                              seed into DIR\n\
+           --fed-every N      every Nth script is federated-compatible and\n\
+                              additionally cross-checks in-process vs TCP\n\
+                              transports (default 10; 0 disables)\n\
+           --max-dim N        generated matrix dimension cap (default 16)\n\
+           --save-samples N   with --corpus: also save every Nth passing\n\
+                              script as a replayable corpus sample"
     );
     std::process::exit(2);
 }
@@ -73,6 +91,7 @@ fn main() -> ExitCode {
         Some("run") => run_cmd(&args[1..]),
         Some("worker") => worker_cmd(&args[1..]),
         Some("fedlm") => fedlm_cmd(&args[1..]),
+        Some("fuzz") => fuzz_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -209,6 +228,77 @@ fn run_cmd(args: &[String]) -> ExitCode {
                 eprint!("{}", sds.run_report().render());
             }
             ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `sysds fuzz`: run a differential conformance campaign. Prints a
+/// deterministic report (no wall-clock, no paths) so identical invocations
+/// print identical bytes; exits non-zero when any seed diverged.
+fn fuzz_cmd(args: &[String]) -> ExitCode {
+    let mut opts = sysds_conformance::FuzzOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                opts.seed = v;
+            }
+            "--iters" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                opts.iters = v;
+            }
+            "--corpus" => {
+                i += 1;
+                let Some(dir) = args.get(i) else { usage() };
+                opts.corpus_dir = Some(dir.into());
+            }
+            "--fed-every" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                opts.fed_every = v;
+            }
+            "--max-dim" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                opts.max_dim = v;
+            }
+            "--save-samples" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                opts.save_samples = Some(v);
+            }
+            other => {
+                eprintln!("unknown option '{other}'");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match sysds_conformance::run(&opts) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,188 @@
+//! Corpus format: self-contained `.dml` repro files under `tests/corpus/`.
+//!
+//! Each entry is an ordinary DML script prefixed with `#`-comment
+//! directives that carry the oracle metadata:
+//!
+//! ```text
+//! # sysds-conformance corpus v1
+//! # seed: 42
+//! # outputs: m0 s1 m2
+//! # fed: 8x3          (only for federated scripts: shape of input X)
+//! m0 = rand(rows=4, cols=3, min=-1, max=1, sparsity=1.0, seed=7)
+//! ...
+//! ```
+//!
+//! Directives are comments, so every entry also runs unmodified under
+//! `sysds run`. The corpus is replayed by the tier-1 integration test
+//! `tests/conformance_corpus.rs` on every build.
+
+use crate::gen::{FedInput, Script, Stmt};
+use std::path::{Path, PathBuf};
+use sysds_common::{Result, SysDsError};
+
+const HEADER: &str = "# sysds-conformance corpus v1";
+
+/// Serialize a script (with its oracle metadata) to corpus text.
+pub fn to_corpus_text(script: &Script) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("# seed: {}\n", script.seed));
+    out.push_str(&format!("# outputs: {}\n", script.outputs.join(" ")));
+    if let Some(f) = script.fed_input {
+        out.push_str(&format!("# fed: {}x{}\n", f.rows, f.cols));
+    }
+    out.push_str(&script.render());
+    out
+}
+
+/// Parse corpus text back into a runnable [`Script`].
+///
+/// The statement list is collapsed to one statement holding the whole body
+/// (def/use slicing already happened before the entry was written).
+pub fn from_corpus_text(text: &str) -> Result<Script> {
+    let mut seed = 0u64;
+    let mut outputs: Vec<String> = Vec::new();
+    let mut fed_input: Option<FedInput> = None;
+    let mut body = String::new();
+    let mut saw_header = false;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# seed:") {
+            seed = rest
+                .trim()
+                .parse()
+                .map_err(|_| SysDsError::runtime("corpus: bad '# seed:' directive"))?;
+        } else if let Some(rest) = line.strip_prefix("# outputs:") {
+            outputs = rest.split_whitespace().map(String::from).collect();
+        } else if let Some(rest) = line.strip_prefix("# fed:") {
+            let dims = rest.trim();
+            let (r, c) = dims
+                .split_once('x')
+                .ok_or_else(|| SysDsError::runtime("corpus: bad '# fed:' directive"))?;
+            fed_input = Some(FedInput {
+                rows: r
+                    .trim()
+                    .parse()
+                    .map_err(|_| SysDsError::runtime("corpus: bad fed rows"))?,
+                cols: c
+                    .trim()
+                    .parse()
+                    .map_err(|_| SysDsError::runtime("corpus: bad fed cols"))?,
+            });
+        } else if line.starts_with(HEADER) {
+            saw_header = true;
+        } else {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    if !saw_header {
+        return Err(SysDsError::runtime(
+            "corpus: missing '# sysds-conformance corpus v1' header",
+        ));
+    }
+    if outputs.is_empty() {
+        return Err(SysDsError::runtime(
+            "corpus: missing '# outputs:' directive",
+        ));
+    }
+    Ok(Script {
+        seed,
+        stmts: vec![Stmt {
+            text: body.trim_end().to_string(),
+            defines: outputs.clone(),
+            uses: Vec::new(),
+        }],
+        outputs,
+        fed_input,
+    })
+}
+
+/// Write a corpus entry; the name is derived from the seed so re-fuzzing
+/// the same seed overwrites (rather than duplicates) its repro.
+pub fn write_entry(dir: &Path, script: &Script) -> Result<PathBuf> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        SysDsError::runtime(format!("corpus: cannot create {}: {e}", dir.display()))
+    })?;
+    let kind = if script.fed_input.is_some() {
+        "fed"
+    } else {
+        "local"
+    };
+    let path = dir.join(format!("seed_{}_{kind}.dml", script.seed));
+    std::fs::write(&path, to_corpus_text(script)).map_err(|e| {
+        SysDsError::runtime(format!("corpus: cannot write {}: {e}", path.display()))
+    })?;
+    Ok(path)
+}
+
+/// All `.dml` entries in a corpus directory, sorted by file name so replay
+/// order (and reports) are deterministic.
+pub fn list_entries(dir: &Path) -> Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| SysDsError::runtime(format!("corpus: cannot read {}: {e}", dir.display())))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dml"))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+/// Load one corpus entry from disk.
+pub fn load_entry(path: &Path) -> Result<Script> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SysDsError::runtime(format!("corpus: cannot read {}: {e}", path.display())))?;
+    from_corpus_text(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenOptions};
+
+    #[test]
+    fn roundtrip_preserves_body_outputs_and_metadata() {
+        let script = generate(11, GenOptions::default());
+        let text = to_corpus_text(&script);
+        let back = from_corpus_text(&text).unwrap();
+        assert_eq!(back.seed, script.seed);
+        assert_eq!(back.outputs, script.outputs);
+        assert_eq!(back.fed_input, script.fed_input);
+        assert_eq!(back.render().trim(), script.render().trim());
+    }
+
+    #[test]
+    fn roundtrip_preserves_fed_directive() {
+        let script = generate(
+            3,
+            GenOptions {
+                fed: true,
+                ..GenOptions::default()
+            },
+        );
+        let back = from_corpus_text(&to_corpus_text(&script)).unwrap();
+        assert_eq!(back.fed_input, script.fed_input);
+    }
+
+    #[test]
+    fn rejects_files_without_header_or_outputs() {
+        assert!(from_corpus_text("x = 1\n").is_err());
+        assert!(from_corpus_text("# sysds-conformance corpus v1\nx = 1\n").is_err());
+    }
+
+    #[test]
+    fn write_and_list_are_deterministic() {
+        let dir = sysds_common::testing::unique_temp_dir("sysds-conf-corpus");
+        let a = generate(5, GenOptions::default());
+        let b = generate(6, GenOptions::default());
+        write_entry(&dir, &b).unwrap();
+        write_entry(&dir, &a).unwrap();
+        let listed = list_entries(&dir).unwrap();
+        assert_eq!(listed.len(), 2);
+        assert!(listed[0] < listed[1]);
+        let back = load_entry(&listed[0]).unwrap();
+        assert_eq!(back.seed, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

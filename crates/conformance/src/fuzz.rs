@@ -1,0 +1,192 @@
+//! The fuzzing driver behind `sysds fuzz`.
+//!
+//! Derives one independent generator seed per iteration via
+//! `sysds_common::rng::split(seed, i)`, runs the differential oracle on the
+//! generated script, shrinks any failure, and (when a corpus directory is
+//! given) writes the minimized repro there. Every federated-compatible
+//! iteration (every `fed_every`-th) additionally cross-checks in-process
+//! against TCP transports.
+//!
+//! The report is **byte-for-byte deterministic** for a given `(seed,
+//! iters)` pair: no wall-clock, no paths, no map iteration order — so two
+//! runs of `sysds fuzz --seed S --iters N` must print identical bytes
+//! (pinned by `tests/fuzz_cli.rs`).
+
+use crate::corpus;
+use crate::gen::{generate, GenOptions};
+use crate::oracle::{check_script, Divergence};
+use crate::shrink::shrink;
+use std::path::PathBuf;
+use sysds_common::rng::split;
+use sysds_common::Result;
+
+/// Options for one fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Campaign seed; iteration `i` fuzzes `split(seed, i)`.
+    pub seed: u64,
+    /// Number of scripts to generate and cross-check.
+    pub iters: u64,
+    /// Where to write minimized repros (and optional samples).
+    pub corpus_dir: Option<PathBuf>,
+    /// Every Nth iteration generates a federated-compatible script
+    /// (0 disables federated iterations).
+    pub fed_every: u64,
+    /// Upper bound on generated matrix dimensions.
+    pub max_dim: usize,
+    /// When Some(n) and a corpus dir is set, also save every `n`-th
+    /// *passing* script as a corpus sample (seeds the replay suite with
+    /// feature-diverse green entries).
+    pub save_samples: Option<u64>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0,
+            iters: 100,
+            corpus_dir: None,
+            fed_every: 10,
+            max_dim: 16,
+            save_samples: None,
+        }
+    }
+}
+
+/// Outcome of a campaign. Rendering is deterministic.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    pub iters: u64,
+    pub fed_iters: u64,
+    /// Shrunk divergences, in iteration order.
+    pub divergences: Vec<Divergence>,
+    /// Corpus entries written (repros + samples), in write order,
+    /// file names only.
+    pub corpus_written: Vec<String>,
+}
+
+impl FuzzReport {
+    pub fn passed(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Deterministic report text (stdout of `sysds fuzz`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "conformance fuzz: {} iterations ({} federated), {} divergence(s)\n",
+            self.iters,
+            self.fed_iters,
+            self.divergences.len()
+        ));
+        for d in &self.divergences {
+            out.push_str("DIVERGENCE ");
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        for name in &self.corpus_written {
+            out.push_str(&format!("corpus: {name}\n"));
+        }
+        out.push_str(if self.passed() {
+            "result: PASS\n"
+        } else {
+            "result: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Run a fuzzing campaign.
+pub fn run(opts: &FuzzOptions) -> Result<FuzzReport> {
+    let mut report = FuzzReport::default();
+    for i in 0..opts.iters {
+        let fed = opts.fed_every > 0 && i % opts.fed_every == opts.fed_every - 1;
+        let gen_opts = GenOptions {
+            max_dim: opts.max_dim,
+            fed,
+            ..GenOptions::default()
+        };
+        let script_seed = split(opts.seed, i);
+        let script = generate(script_seed, gen_opts);
+        if fed {
+            report.fed_iters += 1;
+        }
+        match check_script(&script)? {
+            None => {
+                if let (Some(dir), Some(every)) = (&opts.corpus_dir, opts.save_samples) {
+                    if every > 0 && i % every == 0 {
+                        let path = corpus::write_entry(dir, &script)?;
+                        report
+                            .corpus_written
+                            .push(path.file_name().unwrap().to_string_lossy().into_owned());
+                    }
+                }
+            }
+            Some(_) => {
+                // Shrink while the oracle still reports a divergence; the
+                // final divergence re-derived from the minimized script is
+                // what we report and commit.
+                let check = |cand: &crate::gen::Script| check_script(cand).ok().flatten();
+                let minimized = shrink(&script, Some(gen_opts), &check);
+                let final_div = check_script(&minimized)?.unwrap_or_else(|| Divergence {
+                    seed: script_seed,
+                    config_a: "reference".into(),
+                    config_b: "unknown".into(),
+                    variable: "<flaky>".into(),
+                    detail: "divergence did not reproduce on the minimized script".into(),
+                    fingerprint_a: "n/a".into(),
+                    fingerprint_b: "n/a".into(),
+                });
+                if let Some(dir) = &opts.corpus_dir {
+                    let path = corpus::write_entry(dir, &minimized)?;
+                    report
+                        .corpus_written
+                        .push(path.file_name().unwrap().to_string_lossy().into_owned());
+                }
+                report.divergences.push(final_div);
+            }
+        }
+        report.iters += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_passes_and_is_deterministic() {
+        let opts = FuzzOptions {
+            seed: 1,
+            iters: 4,
+            fed_every: 4,
+            max_dim: 6,
+            ..FuzzOptions::default()
+        };
+        let a = run(&opts).unwrap();
+        let b = run(&opts).unwrap();
+        assert!(a.passed(), "divergences: {:?}", a.divergences);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.fed_iters, 1);
+    }
+
+    #[test]
+    fn samples_are_written_when_requested() {
+        let dir = sysds_common::testing::unique_temp_dir("sysds-conf-samples");
+        let opts = FuzzOptions {
+            seed: 2,
+            iters: 3,
+            fed_every: 0,
+            max_dim: 5,
+            corpus_dir: Some(dir.clone()),
+            save_samples: Some(2),
+        };
+        let report = run(&opts).unwrap();
+        assert!(report.passed());
+        // Iterations 0 and 2 are sampled.
+        assert_eq!(report.corpus_written.len(), 2);
+        assert_eq!(corpus::list_entries(&dir).unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,191 @@
+//! Input shrinking for failing seeds.
+//!
+//! Two reduction passes, both validated by re-running the differential
+//! oracle on every candidate (a candidate is kept only if it *still*
+//! diverges):
+//!
+//! 1. **Dimension shrinking**: regenerate the same seed with `max_dim`
+//!    halved (16 → 8 → 4 → 2). The generator is deterministic in
+//!    `(seed, options)`, so this reliably produces the "same program,
+//!    smaller data" — usually the single biggest reduction.
+//! 2. **Statement slicing**: repeatedly try to delete one statement plus
+//!    its transitive dependents (everything reading a deleted definition),
+//!    from the last statement backwards, until a fixpoint.
+//!
+//! The result is the smallest still-diverging script found, suitable for
+//! committing to `tests/corpus/` as a regression repro.
+
+use crate::gen::{generate, GenOptions, Script, Stmt};
+use crate::oracle::Divergence;
+
+/// Re-check callback: `Some(divergence)` when the candidate still fails.
+pub type Check<'a> = dyn Fn(&Script) -> Option<Divergence> + 'a;
+
+/// Remove `stmts[victim]` and every later statement that (transitively)
+/// reads a removed definition. Returns `None` when the slice would leave
+/// no compared outputs.
+fn slice_out(script: &Script, victim: usize) -> Option<Script> {
+    let mut removed_defs: Vec<String> = script.stmts[victim].defines.clone();
+    let mut stmts: Vec<Stmt> = script.stmts[..victim].to_vec();
+    for s in &script.stmts[victim + 1..] {
+        if s.uses.iter().any(|u| removed_defs.contains(u)) {
+            removed_defs.extend(s.defines.iter().cloned());
+        } else {
+            stmts.push(s.clone());
+        }
+    }
+    let outputs: Vec<String> = script
+        .outputs
+        .iter()
+        .filter(|o| !removed_defs.contains(o))
+        .cloned()
+        .collect();
+    if outputs.is_empty() || stmts.is_empty() {
+        return None;
+    }
+    Some(Script {
+        seed: script.seed,
+        stmts,
+        outputs,
+        fed_input: script.fed_input,
+    })
+}
+
+/// Shrink a diverging script to a smaller still-diverging one.
+///
+/// `opts` are the options the script was generated with (used for the
+/// dimension-shrinking pass; pass `None` for corpus entries that were not
+/// generated this session, which skips that pass).
+pub fn shrink(script: &Script, opts: Option<GenOptions>, check: &Check) -> Script {
+    let mut best = script.clone();
+
+    // Pass 1: same seed, smaller dims.
+    if let Some(base) = opts {
+        let mut dim = base.max_dim;
+        while dim > 2 {
+            dim /= 2;
+            let candidate = generate(
+                best.seed,
+                GenOptions {
+                    max_dim: dim.max(2),
+                    ..base
+                },
+            );
+            if check(&candidate).is_some() {
+                best = candidate;
+            } else {
+                break;
+            }
+        }
+    }
+
+    // Pass 2: statement slicing to a fixpoint. Walk from the end so late,
+    // irrelevant statements go first; restart after every success because
+    // indices shift.
+    loop {
+        let mut reduced = false;
+        for victim in (0..best.stmts.len()).rev() {
+            if best.stmts.len() == 1 {
+                break;
+            }
+            if let Some(candidate) = slice_out(&best, victim) {
+                if candidate.stmts.len() < best.stmts.len() && check(&candidate).is_some() {
+                    best = candidate;
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stmt(text: &str, defines: &[&str], uses: &[&str]) -> Stmt {
+        Stmt {
+            text: text.into(),
+            defines: defines.iter().map(|s| s.to_string()).collect(),
+            uses: uses.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn three_stmt_script() -> Script {
+        Script {
+            seed: 1,
+            stmts: vec![
+                stmt("a = rand(rows=2, cols=2, seed=1)", &["a"], &[]),
+                stmt("b = a + 1", &["b"], &["a"]),
+                stmt("c = 7", &["c"], &[]),
+            ],
+            outputs: vec!["a".into(), "b".into(), "c".into()],
+            fed_input: None,
+        }
+    }
+
+    #[test]
+    fn slicing_removes_dependents_transitively() {
+        let s = three_stmt_script();
+        let sliced = slice_out(&s, 0).expect("outputs remain");
+        // Removing `a` also removes `b` (reads a); `c` survives.
+        assert_eq!(sliced.stmts.len(), 1);
+        assert_eq!(sliced.outputs, vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn slicing_refuses_to_empty_the_script() {
+        let s = Script {
+            seed: 1,
+            stmts: vec![stmt("a = 1", &["a"], &[])],
+            outputs: vec!["a".into()],
+            fed_input: None,
+        };
+        assert!(slice_out(&s, 0).is_none());
+    }
+
+    #[test]
+    fn shrink_keeps_only_what_the_failure_needs() {
+        // Pretend the divergence is "output c differs": any candidate still
+        // defining c keeps failing, so a and b must be sliced away.
+        let s = three_stmt_script();
+        let check = |cand: &Script| {
+            cand.outputs.contains(&"c".to_string()).then(|| Divergence {
+                seed: 1,
+                config_a: "reference".into(),
+                config_b: "fusion".into(),
+                variable: "c".into(),
+                detail: "test".into(),
+                fingerprint_a: "0".into(),
+                fingerprint_b: "1".into(),
+            })
+        };
+        let out = shrink(&s, None, &check);
+        assert_eq!(out.stmts.len(), 1);
+        assert_eq!(out.stmts[0].defines, vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn shrink_never_returns_a_passing_script() {
+        // A checker that always fails keeps the script non-empty.
+        let s = three_stmt_script();
+        let check = |_: &Script| {
+            Some(Divergence {
+                seed: 1,
+                config_a: "a".into(),
+                config_b: "b".into(),
+                variable: "v".into(),
+                detail: "d".into(),
+                fingerprint_a: "0".into(),
+                fingerprint_b: "1".into(),
+            })
+        };
+        let out = shrink(&s, None, &check);
+        assert!(!out.stmts.is_empty());
+        assert!(!out.outputs.is_empty());
+    }
+}

@@ -214,6 +214,12 @@ impl SystemDS {
         crate::compiler::explain::explain(program, &self.ctx.config, level)
     }
 
+    /// Stable 64-bit fingerprint of the plan this session's configuration
+    /// would execute for `program` (hash of the runtime-level explain).
+    pub fn plan_fingerprint(&self, program: &CompiledProgram) -> u64 {
+        crate::compiler::explain::plan_fingerprint(program, &self.ctx.config)
+    }
+
     /// Pre-compile a script for repeated low-latency execution (JMLC).
     pub fn prepare(&self, script: &str, outputs: &[&str]) -> Result<PreparedScript> {
         let program = self.compile(script)?;
@@ -514,7 +520,7 @@ mod tests {
 
     fn session() -> SystemDS {
         let mut config = EngineConfig::default();
-        config.spill_dir = std::env::temp_dir().join("sysds-api-tests");
+        config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-api-tests");
         SystemDS::with_config(config).unwrap()
     }
 
@@ -606,7 +612,7 @@ mod tests {
     #[test]
     fn run_report_includes_counter_sections() {
         let mut config = EngineConfig::default();
-        config.spill_dir = std::env::temp_dir().join("sysds-api-tests");
+        config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-api-tests");
         config.stats = true;
         let mut s = SystemDS::with_config(config).unwrap();
         // Matrix ops so that instructions actually execute (pure scalar
@@ -646,7 +652,7 @@ mod tests {
             .execute(script, &inputs(&fused), &["d", "S", "r"])
             .unwrap();
         let mut config = EngineConfig::default().fusion(false);
-        config.spill_dir = std::env::temp_dir().join("sysds-api-tests");
+        config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-api-tests");
         let mut plain = SystemDS::with_config(config).unwrap();
         let b = plain
             .execute(script, &inputs(&plain), &["d", "S", "r"])

@@ -36,6 +36,35 @@ pub fn builtin_source(name: &str) -> Option<&'static str> {
     })
 }
 
+/// Every registered DML-bodied builtin, in registration order.
+pub const ALL_NAMES: &[&str] = &[
+    "lmDS",
+    "lmCG",
+    "lm",
+    "steplm",
+    "lmPredict",
+    "scale",
+    "normalize",
+    "pca",
+    "l2svm",
+    "kmeans",
+    "mse",
+    "cvLM",
+    "gridSearchLM",
+    "logisticReg",
+];
+
+/// Builtins the conformance fuzzer may call on arbitrary generated inputs.
+///
+/// These are closed-form and numerically continuous in their inputs, so any
+/// well-conditioned random matrix is a valid argument and results stay
+/// comparable across optimizer configurations at tight tolerances. The
+/// iterative builtins (lmCG, kmeans, l2svm, logisticReg, steplm) and the
+/// selection wrappers over them are excluded: early-exit thresholds turn
+/// last-ULP differences into different iteration counts, which the
+/// differential oracle would misreport as plan divergence.
+pub const FUZZ_SAFE: &[&str] = &["scale", "normalize", "mse", "lmPredict"];
+
 /// Resolve a builtin into a parsed program (the registration hook passed
 /// to the compiler).
 pub fn resolve(name: &str) -> Option<Program> {
@@ -45,26 +74,10 @@ pub fn resolve(name: &str) -> Option<Program> {
 
 /// Parse-check every registered builtin (used by tests).
 pub fn check_all() -> Result<usize> {
-    let names = [
-        "lmDS",
-        "lmCG",
-        "lm",
-        "steplm",
-        "lmPredict",
-        "scale",
-        "normalize",
-        "pca",
-        "l2svm",
-        "kmeans",
-        "mse",
-        "cvLM",
-        "gridSearchLM",
-        "logisticReg",
-    ];
-    for n in names {
+    for n in ALL_NAMES {
         parse_program(builtin_source(n).unwrap())?;
     }
-    Ok(names.len())
+    Ok(ALL_NAMES.len())
 }
 
 /// Direct-solve linear regression (paper Figure 2, `m_lmDS`): solves the

@@ -328,7 +328,7 @@ mod tests {
         let gblock = gradient_block(&block, wrt).unwrap();
 
         let mut config = EngineConfig::default();
-        config.spill_dir = std::env::temp_dir().join("sysds-autodiff-tests");
+        config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-autodiff-tests");
         let ctx = ExecCtx::new(config.clone()).unwrap();
         let mut st = SymbolTable::new();
         for (n, m) in inputs {

@@ -75,6 +75,16 @@ pub fn explain(program: &CompiledProgram, config: &EngineConfig, level: ExplainL
     out
 }
 
+/// Stable 64-bit identity of the plan this configuration would execute.
+///
+/// Hashes the rendered runtime-level explain output, so any change the
+/// optimizer makes under a configuration — fusion decisions, exec types,
+/// rewrites — changes the fingerprint. The conformance harness reports it
+/// alongside divergences so a failing seed names *which* plans disagreed.
+pub fn plan_fingerprint(program: &CompiledProgram, config: &EngineConfig) -> u64 {
+    sysds_obs::fingerprint64(&explain(program, config, ExplainLevel::Runtime))
+}
+
 fn pad(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");

@@ -205,4 +205,148 @@ mod tests {
         reg.register(1, 0, &lin, std::slice::from_ref(&entry));
         assert_eq!(reg.len(), 1);
     }
+
+    mod cache_integration {
+        //! Dedup + lineage-cache interplay: the point of deduplicated
+        //! traces is that equal work across loop iterations still produces
+        //! equal cache keys, so the reuse cache hits on iterations 2..n.
+
+        use super::*;
+        use crate::lineage::cache::LineageCache;
+        use std::sync::Arc;
+        use sysds_common::config::ReusePolicy;
+        use sysds_tensor::Matrix;
+
+        /// A `for`-style loop: every iteration runs the same path over a
+        /// loop-invariant entry. With dedup, each iteration's lineage is
+        /// one `dedup` node over the same entries — identical hash — so the
+        /// cache records 1 miss and n-1 hits.
+        #[test]
+        fn loop_invariant_iterations_hit_after_first() {
+            let reg = DedupRegistry::new();
+            let cache = LineageCache::new(ReusePolicy::Full, 1 << 20);
+            let entry = LineageItem::leaf("input:X");
+            let value = Arc::new(Matrix::filled(4, 4, 2.5));
+
+            let mut hits = 0u64;
+            for i in 0..10 {
+                let concrete = iteration_lineage(&entry);
+                reg.register(11, 0, &concrete, std::slice::from_ref(&entry));
+                let key = reg.dedup_node(11, 0, vec![entry.clone()]);
+                if let Some(v) = cache.probe(&key) {
+                    hits += 1;
+                    assert!(v.approx_eq(&value, 0.0), "iteration {i} got stale data");
+                } else {
+                    // Pretend the body computed `value` (expensive enough
+                    // to be cached: large compute_nanos).
+                    cache.put(&key, value.clone(), 1_000_000);
+                }
+            }
+            assert_eq!(hits, 9, "first iteration misses, the rest hit");
+            let stats = cache.stats();
+            assert_eq!(stats.hits, 9);
+            assert_eq!(stats.misses, 1);
+        }
+
+        /// A `parfor`-style loop: iterations run the same path over
+        /// *different* entries (e.g. column i). Dedup nodes then differ by
+        /// construction — no false hits — but re-running the whole parfor
+        /// (hyper-parameter loops in the paper) hits on every iteration.
+        #[test]
+        fn parfor_iterations_keyed_by_entry_no_false_hits() {
+            let reg = DedupRegistry::new();
+            let cache = LineageCache::new(ReusePolicy::Full, 1 << 20);
+
+            let entries: Vec<Arc<LineageItem>> = (0..6)
+                .map(|i| {
+                    LineageItem::node(
+                        format!("rightIndex:{i}"),
+                        vec![LineageItem::leaf("input:X")],
+                    )
+                })
+                .collect();
+
+            // First parfor sweep: all misses, each iteration cached under
+            // its own dedup key.
+            for (i, e) in entries.iter().enumerate() {
+                let concrete = iteration_lineage(e);
+                reg.register(12, 0, &concrete, std::slice::from_ref(e));
+                let key = reg.dedup_node(12, 0, vec![e.clone()]);
+                assert!(
+                    cache.probe(&key).is_none(),
+                    "iteration {i} falsely hit another iteration's entry"
+                );
+                cache.put(&key, Arc::new(Matrix::filled(2, 2, i as f64)), 1_000_000);
+            }
+            let after_first = cache.stats();
+            assert_eq!(after_first.hits, 0);
+            assert_eq!(after_first.misses, 6);
+
+            // Second sweep over the same columns: every iteration hits and
+            // returns its own value.
+            for (i, e) in entries.iter().enumerate() {
+                let key = reg.dedup_node(12, 0, vec![e.clone()]);
+                let v = cache.probe(&key).expect("second sweep must hit");
+                assert_eq!(
+                    v.get(0, 0),
+                    i as f64,
+                    "iteration {i} got another iteration's value"
+                );
+            }
+            let after_second = cache.stats();
+            assert_eq!(after_second.hits, 6);
+            assert_eq!(after_second.misses, 6);
+            // One template serves all 12 iteration lineages.
+            assert_eq!(reg.len(), 1);
+        }
+
+        /// Cache keys derived from dedup nodes are equivalent to keys
+        /// derived from the expanded (full) lineage: probing with the
+        /// expansion of iteration k's node finds nothing cached under a
+        /// *different* iteration, and expansion round-trips the hash.
+        #[test]
+        fn expanded_keys_distinguish_iterations() {
+            let reg = DedupRegistry::new();
+            let e0 = LineageItem::leaf("input:X");
+            let first = iteration_lineage(&e0);
+            reg.register(13, 0, &first, std::slice::from_ref(&e0));
+
+            // Chain iterations: entry of iteration k is output of k-1.
+            let n1 = reg.dedup_node(13, 0, vec![first.clone()]);
+            let n2 = reg.dedup_node(13, 0, vec![n1.clone()]);
+            assert_ne!(n1.hash, n2.hash, "chained iterations must not collide");
+
+            let x1 = reg.expand(&n1).unwrap();
+            let x2 = reg.expand(&n2).unwrap();
+            assert_ne!(x1.hash, x2.hash);
+            // Expansion is deterministic: same node, same expanded hash.
+            assert_eq!(x1.hash, reg.expand(&n1).unwrap().hash);
+        }
+
+        /// Concurrent template registration from parfor workers: exactly
+        /// one template wins, every worker's dedup key stays usable.
+        #[test]
+        fn concurrent_registration_is_safe() {
+            let reg = Arc::new(DedupRegistry::new());
+            let entry = LineageItem::leaf("input:X");
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let reg = Arc::clone(&reg);
+                    let entry = entry.clone();
+                    std::thread::spawn(move || {
+                        for _ in 0..50 {
+                            let concrete = iteration_lineage(&entry);
+                            reg.register(14, 0, &concrete, std::slice::from_ref(&entry));
+                            let node = reg.dedup_node(14, 0, vec![entry.clone()]);
+                            assert!(reg.expand(&node).is_some());
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("worker panicked");
+            }
+            assert_eq!(reg.len(), 1);
+        }
+    }
 }

@@ -19,6 +19,10 @@ static CLOCK: AtomicU64 = AtomicU64::new(1);
 
 #[derive(Debug)]
 struct HandleState {
+    /// Handle id — also names the spill file, so it must live in the
+    /// state: evictions run through weak pool entries that have no
+    /// access to the owning `MatrixHandle`.
+    id: u64,
     /// In-memory copy, if cached.
     mem: Option<Arc<Matrix>>,
     /// Spill file, if evicted (kept until drop for cheap re-eviction).
@@ -43,9 +47,11 @@ impl MatrixHandle {
         let bytes = m.in_memory_size();
         let shape = m.shape();
         let sparsity = m.sparsity();
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         MatrixHandle {
-            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            id,
             state: Arc::new(Mutex::new(HandleState {
+                id,
                 mem: Some(Arc::new(m)),
                 disk: None,
                 shape,
@@ -113,7 +119,7 @@ impl MatrixHandle {
         }
         let _span = sysds_obs::Span::enter(sysds_obs::Phase::BufferPool, "evict");
         if st.disk.is_none() {
-            let path = dir.join(format!("spill-{}.bin", self.id));
+            let path = dir.join(format!("spill-{}.bin", st.id));
             let m = st.mem.as_ref().unwrap();
             let encoded = sysds_io::binary::encode_matrix(m);
             std::fs::write(&path, &encoded)
@@ -238,11 +244,7 @@ mod tests {
     use sysds_tensor::kernels::gen;
 
     fn dir(name: &str) -> PathBuf {
-        let d = std::env::temp_dir()
-            .join("sysds-pool-tests")
-            .join(format!("{name}-{}", std::process::id()));
-        std::fs::create_dir_all(&d).unwrap();
-        d
+        sysds_common::testing::unique_temp_dir(&format!("sysds-pool-tests-{name}"))
     }
 
     #[test]

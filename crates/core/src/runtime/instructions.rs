@@ -902,7 +902,7 @@ mod tests {
 
     fn ctx() -> ExecCtx {
         let mut config = EngineConfig::default();
-        config.spill_dir = std::env::temp_dir().join("sysds-instr-tests");
+        config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-instr-tests");
         ExecCtx::new(config).unwrap()
     }
 
@@ -988,7 +988,7 @@ mod tests {
     #[test]
     fn rand_and_tsmm_with_cache() {
         let mut config = EngineConfig::with_reuse();
-        config.spill_dir = std::env::temp_dir().join("sysds-instr-tests");
+        config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-instr-tests");
         let c = ExecCtx::new(config).unwrap();
         let mk = |out_base: usize| {
             vec![

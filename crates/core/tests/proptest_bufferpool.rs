@@ -1,0 +1,130 @@
+//! Property tests for buffer-pool evict/restore round-trips.
+//!
+//! The pool's contract: no matter how small the budget, how often handles
+//! are evicted and restored, what representation (dense/sparse) a matrix
+//! uses, or how many threads acquire concurrently, `acquire()` always
+//! returns bit-identical data to what was registered. Spill files are
+//! binary-block encoded, so round-trips are exact — comparisons use zero
+//! tolerance.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use sysds::runtime::bufferpool::BufferPool;
+use sysds_common::testing::unique_temp_dir;
+use sysds_tensor::kernels::gen::rand_uniform;
+use sysds_tensor::Matrix;
+
+fn pool(limit: usize) -> BufferPool {
+    BufferPool::new(limit, unique_temp_dir("sysds-pool-proptests")).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dense matrices survive registration under a budget small enough to
+    /// evict everything.
+    #[test]
+    fn dense_round_trip_under_tiny_budget(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let p = pool(256); // a few dozen cells at most stay cached
+        let originals: Vec<Matrix> = (0..4)
+            .map(|i| rand_uniform(rows, cols, -1.0, 1.0, 1.0, seed + i))
+            .collect();
+        let handles: Vec<_> = originals
+            .iter()
+            .map(|m| p.register(m.clone()).unwrap())
+            .collect();
+        for (h, m) in handles.iter().zip(&originals) {
+            prop_assert!(h.acquire().unwrap().approx_eq(m, 0.0));
+            prop_assert_eq!(h.shape(), Some((rows, cols)));
+        }
+    }
+
+    /// Sparse matrices round-trip through the same spill path.
+    #[test]
+    fn sparse_round_trip_under_tiny_budget(
+        rows in 1usize..32,
+        cols in 1usize..32,
+        sparsity in 0.05f64..0.4,
+        seed in 0u64..1_000,
+    ) {
+        let p = pool(128);
+        let a = rand_uniform(rows, cols, -1.0, 1.0, sparsity, seed);
+        let b = rand_uniform(rows, cols, -1.0, 1.0, sparsity, seed + 7);
+        let ha = p.register(a.clone()).unwrap();
+        let hb = p.register(b.clone()).unwrap();
+        prop_assert!(ha.acquire().unwrap().approx_eq(&a, 0.0));
+        prop_assert!(hb.acquire().unwrap().approx_eq(&b, 0.0));
+        prop_assert_eq!(ha.acquire().unwrap().is_sparse(), a.is_sparse());
+    }
+
+    /// Arbitrary acquire sequences force repeated evict/restore cycles;
+    /// every single acquire must return the registered data.
+    #[test]
+    fn repeated_eviction_is_lossless(
+        accesses in proptest::collection::vec(0usize..6, 1..40),
+        seed in 0u64..1_000,
+    ) {
+        // Budget fits roughly one matrix: almost every acquire restores
+        // from disk and evicts someone else.
+        let p = pool(6 * 6 * 8 + 32);
+        let originals: Vec<Matrix> = (0..6)
+            .map(|i| rand_uniform(6, 6, -1.0, 1.0, 1.0, seed + i))
+            .collect();
+        let handles: Vec<_> = originals
+            .iter()
+            .map(|m| p.register(m.clone()).unwrap())
+            .collect();
+        for &i in &accesses {
+            prop_assert!(handles[i].acquire().unwrap().approx_eq(&originals[i], 0.0));
+        }
+    }
+
+    /// Concurrent acquire from multiple threads against an evicting pool:
+    /// no torn restores, no lost data, no deadlocks.
+    #[test]
+    fn concurrent_acquire_is_consistent(
+        threads in 2usize..5,
+        rounds in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let p = Arc::new(pool(512));
+        let originals: Arc<Vec<Matrix>> = Arc::new(
+            (0..5)
+                .map(|i| rand_uniform(8, 8, -1.0, 1.0, 1.0, seed + i))
+                .collect(),
+        );
+        let handles: Arc<Vec<_>> = Arc::new(
+            originals
+                .iter()
+                .map(|m| p.register(m.clone()).unwrap())
+                .collect(),
+        );
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let originals = Arc::clone(&originals);
+                let handles = Arc::clone(&handles);
+                std::thread::spawn(move || {
+                    for r in 0..rounds {
+                        // Each thread walks the handles in a different
+                        // rotation so acquires interleave with evictions.
+                        let i = (t + r) % handles.len();
+                        let got = handles[i].acquire().unwrap();
+                        assert!(
+                            got.approx_eq(&originals[i], 0.0),
+                            "thread {t} round {r}: handle {i} corrupted"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker thread panicked");
+        }
+        // The pool still enforces its limit after the storm.
+        prop_assert!(p.live_handles() >= 5);
+    }
+}

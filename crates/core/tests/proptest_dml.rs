@@ -11,7 +11,7 @@ use sysds_common::EngineConfig;
 
 fn session() -> SystemDS {
     let mut config = EngineConfig::default();
-    config.spill_dir = std::env::temp_dir().join("sysds-dml-proptests");
+    config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-dml-proptests");
     SystemDS::with_config(config).unwrap()
 }
 

@@ -187,7 +187,7 @@ mod tests {
     use sysds_tensor::kernels::gen;
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join("sysds-io-tests");
+        let dir = sysds_common::testing::unique_temp_dir("sysds-io-binary-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(format!("{name}-{}", std::process::id()))
     }

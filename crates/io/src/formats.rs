@@ -216,7 +216,7 @@ mod tests {
     use sysds_tensor::kernels::gen;
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join("sysds-formats-tests");
+        let dir = sysds_common::testing::unique_temp_dir("sysds-formats-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(format!("{name}-{}", std::process::id()))
     }

@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn sidecar_save_load() {
-        let dir = std::env::temp_dir().join("sysds-io-tests");
+        let dir = sysds_common::testing::unique_temp_dir("sysds-io-mtd-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let data = dir.join(format!("data-{}.csv", std::process::id()));
         std::fs::write(&data, "1,2\n").unwrap();

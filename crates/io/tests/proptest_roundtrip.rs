@@ -7,7 +7,7 @@ use sysds_tensor::kernels::gen;
 use sysds_tensor::Matrix;
 
 fn tmpfile(tag: &str, case: u64) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join("sysds-io-proptests");
+    let dir = sysds_common::testing::unique_temp_dir("sysds-io-proptests");
     std::fs::create_dir_all(&dir).unwrap();
     dir.join(format!("{tag}-{}-{case}", std::process::id()))
 }

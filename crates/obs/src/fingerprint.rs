@@ -1,0 +1,60 @@
+//! Stable 64-bit fingerprints for compiled plans.
+//!
+//! The conformance harness and the recompile-attribution audit both need a
+//! cheap, deterministic identity for "the plan this run executed": two runs
+//! whose explained plans render identically must fingerprint identically,
+//! across processes and across machines. We hash the rendered plan text
+//! with the same FxHash mixing function the engine uses for lineage keys
+//! (re-implemented here so `sysds-obs` stays dependency-free).
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style fingerprint of an arbitrary byte string.
+pub fn fingerprint64(text: &str) -> u64 {
+    let mut hash = 0u64;
+    let bytes = text.as_bytes();
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        hash = (hash.rotate_left(5) ^ u64::from_le_bytes(c.try_into().unwrap())).wrapping_mul(SEED);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        hash =
+            (hash.rotate_left(5) ^ (u64::from_le_bytes(buf) ^ rem.len() as u64)).wrapping_mul(SEED);
+    }
+    hash
+}
+
+/// Render a fingerprint the way reports print it (16 hex digits).
+pub fn render_fingerprint(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(fingerprint64("abc"), fingerprint64("abc"));
+        assert_ne!(fingerprint64("abc"), fingerprint64("abd"));
+        assert_ne!(fingerprint64(""), fingerprint64(" "));
+    }
+
+    #[test]
+    fn tail_bytes_matter() {
+        // Exercise the chunk remainder path: same 8-byte prefix, different
+        // tails must differ.
+        assert_ne!(fingerprint64("12345678a"), fingerprint64("12345678b"));
+        assert_ne!(fingerprint64("12345678"), fingerprint64("12345678\0"));
+    }
+
+    #[test]
+    fn rendering_is_fixed_width_hex() {
+        let s = render_fingerprint(fingerprint64("plan"));
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

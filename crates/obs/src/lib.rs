@@ -26,6 +26,7 @@
 
 pub mod audit;
 pub mod chrome_trace;
+pub mod fingerprint;
 pub mod net;
 pub mod registry;
 pub mod report;
@@ -34,6 +35,7 @@ pub mod trace;
 
 pub use audit::{AuditRow, EstimateInfo, RecompileTrigger, RecompileTriggers};
 pub use chrome_trace::{parse_events, ChromeEvent};
+pub use fingerprint::{fingerprint64, render_fingerprint};
 pub use net::SiteStats;
 pub use registry::{counters, CounterSnapshot, Counters, HeavyHitter, OpStats, Phase};
 pub use span::{set_worker, Span, WorkerGuard};

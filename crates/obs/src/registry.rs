@@ -262,6 +262,11 @@ pub struct Counters {
     pub net_bytes_recv: AtomicU64,
     /// Network transport: summed request round-trip latency.
     pub net_request_nanos: AtomicU64,
+    /// Conformance harness: differential checks executed (script × config
+    /// matrix runs).
+    pub conf_checks: AtomicU64,
+    /// Conformance harness: divergences detected between configurations.
+    pub conf_divergences: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -288,6 +293,8 @@ static COUNTERS: Counters = Counters {
     net_bytes_sent: AtomicU64::new(0),
     net_bytes_recv: AtomicU64::new(0),
     net_request_nanos: AtomicU64::new(0),
+    conf_checks: AtomicU64::new(0),
+    conf_divergences: AtomicU64::new(0),
 };
 
 /// The global counter set.
@@ -321,6 +328,8 @@ pub struct CounterSnapshot {
     pub net_bytes_sent: u64,
     pub net_bytes_recv: u64,
     pub net_request_nanos: u64,
+    pub conf_checks: u64,
+    pub conf_divergences: u64,
 }
 
 impl Counters {
@@ -350,6 +359,8 @@ impl Counters {
             net_bytes_sent: self.net_bytes_sent.load(Ordering::Relaxed),
             net_bytes_recv: self.net_bytes_recv.load(Ordering::Relaxed),
             net_request_nanos: self.net_request_nanos.load(Ordering::Relaxed),
+            conf_checks: self.conf_checks.load(Ordering::Relaxed),
+            conf_divergences: self.conf_divergences.load(Ordering::Relaxed),
         }
     }
 }
@@ -384,6 +395,8 @@ pub fn reset() {
         &c.net_bytes_sent,
         &c.net_bytes_recv,
         &c.net_request_nanos,
+        &c.conf_checks,
+        &c.conf_divergences,
     ] {
         a.store(0, Ordering::Relaxed);
     }

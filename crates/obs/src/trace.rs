@@ -430,9 +430,14 @@ mod tests {
     #[test]
     fn file_sink_writes_lines() {
         let _g = crate::test_flag_guard();
-        let dir = std::env::temp_dir().join("sysds-obs-tests");
+        // Unique per process AND per call (sysds-obs is dependency-free,
+        // so this inlines what sysds_common::testing::unique_temp_dir does).
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("sysds-obs-tests-{}-{seq}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        let path = dir.join("trace.jsonl");
         open(&path).unwrap();
         write(&TraceRecord {
             id: 5,

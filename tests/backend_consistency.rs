@@ -12,7 +12,7 @@ use sysds_tensor::kernels::gen;
 
 fn local_session() -> SystemDS {
     let mut config = EngineConfig::default();
-    config.spill_dir = std::env::temp_dir().join("sysds-backend-tests");
+    config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-backend-tests");
     SystemDS::with_config(config).unwrap()
 }
 
@@ -21,7 +21,7 @@ fn dist_session() -> SystemDS {
     // distributed backend; a small block size exercises tiling.
     let mut config = EngineConfig::default().budget(4 * 1024);
     config.block_size = 32;
-    config.spill_dir = std::env::temp_dir().join("sysds-backend-tests");
+    config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-backend-tests");
     SystemDS::with_config(config).unwrap()
 }
 
@@ -161,7 +161,7 @@ fn buffer_pool_pressure_does_not_change_results() {
     // A tiny buffer pool forces eviction/restore cycles mid-script.
     let mut config = EngineConfig::default();
     config.buffer_pool_limit = 64 * 1024; // 64 KB
-    config.spill_dir = std::env::temp_dir().join("sysds-backend-tests-pool");
+    config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-backend-tests-pool");
     let mut tight = SystemDS::with_config(config).unwrap();
     let mut roomy = local_session();
     let script = r#"

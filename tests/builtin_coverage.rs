@@ -10,7 +10,7 @@ use sysds_tensor::Matrix;
 
 fn run(script: &str, inputs: &[(&str, Data)], outputs: &[&str]) -> sysds::api::ScriptOutputs {
     let mut config = EngineConfig::default();
-    config.spill_dir = std::env::temp_dir().join("sysds-builtin-tests");
+    config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-builtin-tests");
     let mut s = SystemDS::with_config(config).unwrap();
     s.execute(script, inputs, outputs).unwrap()
 }
@@ -228,7 +228,7 @@ fn min_max_two_argument_forms() {
 
 #[test]
 fn matrix_market_read_via_script() {
-    let dir = std::env::temp_dir().join("sysds-builtin-tests");
+    let dir = sysds_common::testing::unique_temp_dir("sysds-builtin-tests");
     std::fs::create_dir_all(&dir).unwrap();
     let p = dir.join(format!("script-{}.mtx", std::process::id()));
     let x = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 0.0]]).unwrap();

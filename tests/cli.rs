@@ -7,7 +7,7 @@ fn sysds_bin() -> &'static str {
 }
 
 fn write_script(name: &str, content: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join("sysds-cli-tests");
+    let dir = sysds_common::testing::unique_temp_dir("sysds-cli-tests");
     std::fs::create_dir_all(&dir).unwrap();
     let p = dir.join(format!("{name}-{}.dml", std::process::id()));
     std::fs::write(&p, content).unwrap();

@@ -1,0 +1,67 @@
+//! Tier-1 replay of the committed conformance corpus.
+//!
+//! Every `.dml` under `tests/corpus/` is a self-contained repro written by
+//! the fuzzing harness (`sysds fuzz`): either a minimized diverging seed
+//! (committed as a regression test after the fix) or a feature-diverse
+//! passing sample. Each entry re-runs the full differential configuration
+//! matrix on every build, so a reintroduced divergence fails `cargo test`.
+
+use std::path::PathBuf;
+use sysds_conformance::corpus;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn corpus_is_populated() {
+    let entries = corpus::list_entries(&corpus_dir()).expect("corpus dir exists");
+    assert!(
+        entries.len() >= 10,
+        "expected at least 10 corpus entries, found {}",
+        entries.len()
+    );
+}
+
+#[test]
+fn corpus_includes_federated_entries() {
+    let entries = corpus::list_entries(&corpus_dir()).unwrap();
+    let fed = entries
+        .iter()
+        .filter(|p| corpus::load_entry(p).unwrap().fed_input.is_some())
+        .count();
+    assert!(fed >= 1, "no federated corpus entries committed");
+}
+
+#[test]
+fn every_entry_parses_with_metadata() {
+    for path in corpus::list_entries(&corpus_dir()).unwrap() {
+        let script = corpus::load_entry(&path)
+            .unwrap_or_else(|e| panic!("{} failed to parse: {e}", path.display()));
+        assert!(
+            !script.outputs.is_empty(),
+            "{} has no compared outputs",
+            path.display()
+        );
+        assert!(
+            !script.render().trim().is_empty(),
+            "{} has an empty body",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_entry_replays_green_across_the_config_matrix() {
+    for path in corpus::list_entries(&corpus_dir()).unwrap() {
+        let script = corpus::load_entry(&path).unwrap();
+        let divergence = sysds_conformance::check_script(&script)
+            .unwrap_or_else(|e| panic!("{} failed to execute: {e}", path.display()));
+        assert!(
+            divergence.is_none(),
+            "{} diverged: {}",
+            path.display(),
+            divergence.unwrap().render()
+        );
+    }
+}

@@ -11,7 +11,7 @@ use sysds_tensor::Matrix;
 
 fn session() -> SystemDS {
     let mut config = EngineConfig::default();
-    config.spill_dir = std::env::temp_dir().join("sysds-e2e-tests");
+    config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-e2e-tests");
     SystemDS::with_config(config).unwrap()
 }
 
@@ -252,7 +252,7 @@ fn l2svm_separates_linearly_separable_data() {
 #[test]
 fn read_write_round_trip_with_metadata() {
     let mut s = session();
-    let dir = std::env::temp_dir().join("sysds-e2e-tests");
+    let dir = sysds_common::testing::unique_temp_dir("sysds-e2e-tests");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join(format!("rw-{}.csv", std::process::id()));
     let x = gen::rand_uniform(20, 4, -1.0, 1.0, 1.0, 611);
@@ -485,7 +485,7 @@ fn paramserv_builtin_trains_linear_model() {
 fn lineage_trace_exposed_for_debugging() {
     let mut config = EngineConfig::default();
     config.lineage = true;
-    config.spill_dir = std::env::temp_dir().join("sysds-e2e-tests");
+    config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-e2e-tests");
     let mut s = SystemDS::with_config(config).unwrap();
     let out = s
         .execute(

@@ -15,12 +15,12 @@ use sysds_io::FormatDescriptor;
 
 fn session() -> SystemDS {
     let mut config = EngineConfig::default();
-    config.spill_dir = std::env::temp_dir().join("sysds-lifecycle-tests");
+    config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-lifecycle-tests");
     SystemDS::with_config(config).unwrap()
 }
 
 fn dir() -> PathBuf {
-    let d = std::env::temp_dir().join("sysds-lifecycle-tests");
+    let d = sysds_common::testing::unique_temp_dir("sysds-lifecycle-tests");
     std::fs::create_dir_all(&d).unwrap();
     d
 }

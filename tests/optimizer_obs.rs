@@ -10,7 +10,7 @@ fn sysds_bin() -> &'static str {
 }
 
 fn temp_dir() -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join("sysds-optobs-tests");
+    let dir = sysds_common::testing::unique_temp_dir("sysds-optobs-tests");
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }

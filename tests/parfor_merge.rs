@@ -17,7 +17,7 @@ use sysds_common::{EngineConfig, ScalarValue, SysDsError};
 fn session(threads: usize) -> SystemDS {
     let mut config = EngineConfig::default();
     config.num_threads = threads;
-    config.spill_dir = std::env::temp_dir().join("sysds-parfor-merge-tests");
+    config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-parfor-merge-tests");
     SystemDS::with_config(config).unwrap()
 }
 

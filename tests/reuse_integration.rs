@@ -11,7 +11,7 @@ use sysds_tensor::kernels::gen;
 
 fn session(reuse: ReusePolicy) -> SystemDS {
     let mut config = EngineConfig::default().reuse_policy(reuse);
-    config.spill_dir = std::env::temp_dir().join("sysds-reuse-tests");
+    config.spill_dir = sysds_common::testing::unique_temp_dir("sysds-reuse-tests");
     SystemDS::with_config(config).unwrap()
 }
 
